@@ -1,0 +1,190 @@
+// Package accesys_bench hosts the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation, each
+// regenerating the artifact's rows at interactive scale (run the
+// accesys command with -full for paper-scale matrices), plus ablation
+// benchmarks for the design choices called out in DESIGN.md.
+package accesys_bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"accesys/internal/core"
+	"accesys/internal/dram"
+	"accesys/internal/driver"
+	"accesys/internal/exp"
+	"accesys/internal/pcie"
+	"accesys/internal/sim"
+	"accesys/internal/workload"
+)
+
+// run executes one experiment per benchmark iteration and reports the
+// emitted rows so regressions in coverage are visible.
+func run(b *testing.B, f func(exp.Options) *exp.Result) {
+	b.Helper()
+	opt := exp.Options{}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		res := f(opt)
+		rows = len(res.Rows)
+		if testing.Verbose() {
+			res.Fprint(io.Discard)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkFig2Roofline(b *testing.B)       { run(b, exp.Fig2Roofline) }
+func BenchmarkFig3BandwidthSweep(b *testing.B) { run(b, exp.Fig3BandwidthSweep) }
+func BenchmarkFig4PacketSize(b *testing.B)     { run(b, exp.Fig4PacketSize) }
+func BenchmarkFig5MemoryLocation(b *testing.B) { run(b, exp.Fig5MemoryLocation) }
+func BenchmarkFig6MemSweep(b *testing.B)       { run(b, exp.Fig6MemSweep) }
+func BenchmarkTab4Translation(b *testing.B)    { run(b, exp.Tab4Translation) }
+func BenchmarkFig7Transformer(b *testing.B)    { run(b, exp.Fig7Transformer) }
+func BenchmarkFig8Split(b *testing.B)          { run(b, exp.Fig8Split) }
+func BenchmarkFig9Model(b *testing.B)          { run(b, exp.Fig9Model) }
+
+// timeGEMM is the shared single-run kernel for the ablations below.
+func timeGEMM(b *testing.B, cfg core.Config, n int) sim.Tick {
+	b.Helper()
+	sys, drv := exp.BuildSystem(cfg)
+	var d sim.Tick
+	drv.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n}, func(r driver.Result) { d = r.Job.Duration() })
+	sys.Run()
+	if d == 0 {
+		b.Fatal("GEMM did not complete")
+	}
+	return d
+}
+
+// BenchmarkAblationLocalBuffer quantifies the local-buffer blocking
+// choice: smaller buffers force B-panel reloads (more PCIe traffic).
+func BenchmarkAblationLocalBuffer(b *testing.B) {
+	for _, kb := range []int{128, 256, 1024} {
+		b.Run(fmt.Sprintf("%dKiB", kb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.PCIe8GB()
+				cfg.Name = fmt.Sprintf("abl-buf-%d-%d", kb, i)
+				cfg.Accel.LocalBufBytes = kb << 10
+				d := timeGEMM(b, cfg, 256)
+				b.ReportMetric(d.Seconds()*1e6, "sim_us")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAccessMethod compares the three access methods on
+// one workload.
+func BenchmarkAblationAccessMethod(b *testing.B) {
+	methods := []core.AccessMethod{core.DC, core.DM, core.DevMem}
+	for _, m := range methods {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var cfg core.Config
+				if m == core.DevMem {
+					cfg = core.DevMemCfg()
+				} else {
+					cfg = core.PCIe8GB()
+					cfg.Access = m
+				}
+				cfg.Name = fmt.Sprintf("abl-acc-%s-%d", m, i)
+				d := timeGEMM(b, cfg, 256)
+				b.ReportMetric(d.Seconds()*1e6, "sim_us")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSMMU measures translation cost directly: SMMU on vs
+// bypassed.
+func BenchmarkAblationSMMU(b *testing.B) {
+	for _, bypass := range []bool{false, true} {
+		name := "translated"
+		if bypass {
+			name = "bypass"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.PCIe8GB()
+				cfg.Name = fmt.Sprintf("abl-smmu-%v-%d", bypass, i)
+				cfg.SMMU.Bypass = bypass
+				d := timeGEMM(b, cfg, 256)
+				b.ReportMetric(d.Seconds()*1e6, "sim_us")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHostMemTech sweeps the banked DRAM technologies on
+// the host side (Table III presets) behind a fast link.
+func BenchmarkAblationHostMemTech(b *testing.B) {
+	for _, spec := range []dram.Spec{dram.DDR3_1600, dram.DDR4_2400, dram.DDR5_3200, dram.HBM2_2000} {
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.PCIe64GB()
+				cfg.Name = fmt.Sprintf("abl-mem-%s-%d", spec.Name, i)
+				cfg.HostSpec = spec
+				d := timeGEMM(b, cfg, 256)
+				b.ReportMetric(d.Seconds()*1e6, "sim_us")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// events per wall second on a PCIe streaming workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.PCIe8GB()
+		cfg.Name = fmt.Sprintf("throughput-%d", i)
+		sys, drv := exp.BuildSystem(cfg)
+		drv.RunGEMM(driver.GEMMSpec{M: 256, N: 256, K: 256}, func(driver.Result) {})
+		sys.Run()
+		b.ReportMetric(float64(sys.EQ.Executed), "events")
+	}
+}
+
+// BenchmarkViTLayer measures one simulated encoder layer end to end.
+func BenchmarkViTLayer(b *testing.B) {
+	g := workload.ViT(workload.ViTBase)
+	b.ReportMetric(float64(len(g.Items)), "ops/layer")
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig9Model(exp.Options{})
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// Guard: the paper's link presets must keep their raw bandwidth.
+func TestPaperLinkPresets(t *testing.T) {
+	if got := pcie.LinkForGBps(2, 4).RawGBps(); got != 2 {
+		t.Fatalf("PCIe-2GB preset = %v", got)
+	}
+	if got := pcie.LinkForGBps(64, 16).RawGBps(); got != 64 {
+		t.Fatalf("PCIe-64GB preset = %v", got)
+	}
+}
+
+// BenchmarkAblationCutThrough compares store-and-forward hops (the
+// paper's model) against cut-through forwarding on a large-packet
+// workload where S&F stalls bite hardest.
+func BenchmarkAblationCutThrough(b *testing.B) {
+	for _, cut := range []bool{false, true} {
+		name := "store-and-forward"
+		if cut {
+			name = "cut-through"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.PCIe8GB()
+				cfg.Name = fmt.Sprintf("abl-cut-%v-%d", cut, i)
+				cfg.PCIe.CutThrough = cut
+				cfg.Accel.HostDMA.BurstBytes = 4096
+				d := timeGEMM(b, cfg, 256)
+				b.ReportMetric(d.Seconds()*1e6, "sim_us")
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+// Command accesys regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	accesys [-full] [-v] [experiment ...]
+//
+// With no arguments every experiment runs in paper order. Experiment
+// ids: fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"accesys/internal/exp"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale matrix sizes (2048); slower")
+	verbose := flag.Bool("v", false, "stream per-run progress")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: accesys [-full] [-v] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s (default: all)\n", strings.Join(exp.IDs(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := exp.Options{Full: *full, Verbose: *verbose, Out: os.Stderr}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		f, ok := exp.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "accesys: unknown experiment %q (want one of %s)\n",
+				id, strings.Join(exp.IDs(), " "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := f(opt)
+		res.Note("wall time: %.1fs", time.Since(start).Seconds())
+		res.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,38 @@
+// Command safarm serves the cycle-level systolic-array model over
+// stdin/stdout using the accel wire protocol — the analogue of the
+// paper's Verilator-compiled RTL accelerator running as a child
+// process. Connect it to a simulation with accel.NewRemoteBackend
+// around the child's pipes.
+//
+// Usage:
+//
+//	safarm [-backend cycle|tile]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accesys/internal/accel"
+)
+
+func main() {
+	backend := flag.String("backend", "cycle", "array model to serve: cycle or tile")
+	flag.Parse()
+
+	var b accel.Backend
+	switch *backend {
+	case "cycle":
+		b = accel.CycleModel{}
+	case "tile":
+		b = accel.TileModel{}
+	default:
+		fmt.Fprintf(os.Stderr, "safarm: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+	if err := accel.Serve(os.Stdin, os.Stdout, b); err != nil {
+		fmt.Fprintf(os.Stderr, "safarm: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Design-space exploration: sweep PCIe bandwidth x host memory
+// technology for a GEMM workload, then recommend the cheapest
+// configuration within a target of the best performance — the
+// "balanced performance and cost" co-design flow the paper motivates.
+//
+//	go run ./examples/designsweep [-n 512] [-target 0.85]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"accesys/internal/core"
+	"accesys/internal/dram"
+	"accesys/internal/driver"
+	"accesys/internal/exp"
+	"accesys/internal/pcie"
+	"accesys/internal/sim"
+)
+
+// relCost is a toy bill-of-materials weight per design point: wider
+// and faster links and exotic memories cost more.
+func relCost(gbps float64, spec dram.Spec) float64 {
+	memCost := map[string]float64{
+		"DDR3-1600": 1.0, "DDR4-2400": 1.3, "DDR5-3200": 1.8,
+		"GDDR5-2000": 2.5, "HBM2-2000": 5.0, "LPDDR5-6400": 1.6,
+	}
+	return gbps/4 + memCost[spec.Name]
+}
+
+func main() {
+	n := flag.Int("n", 512, "square GEMM size")
+	target := flag.Float64("target", 0.85, "required fraction of best performance")
+	flag.Parse()
+
+	links := []float64{2, 8, 16, 32, 64}
+	specs := []dram.Spec{dram.DDR3_1600, dram.DDR4_2400, dram.DDR5_3200, dram.GDDR5_2000, dram.HBM2_2000}
+
+	type point struct {
+		gbps float64
+		spec dram.Spec
+		time sim.Tick
+		cost float64
+	}
+	var points []point
+	var best sim.Tick
+
+	fmt.Printf("sweeping %d design points (GEMM %d)...\n\n", len(links)*len(specs), *n)
+	fmt.Printf("%-8s", "GB/s")
+	for _, s := range specs {
+		fmt.Printf("  %-12s", s.Name)
+	}
+	fmt.Println()
+
+	for _, gbps := range links {
+		fmt.Printf("%-8g", gbps)
+		for _, spec := range specs {
+			cfg := core.PCIe8GB()
+			cfg.Name = fmt.Sprintf("dse-%g-%s", gbps, spec.Name)
+			cfg.PCIe = pcie.Config{Link: pcie.LinkForGBps(gbps, 16)}
+			cfg.HostSpec = spec
+			sys, drv := exp.BuildSystem(cfg)
+			var d sim.Tick
+			drv.RunGEMM(driver.GEMMSpec{M: *n, N: *n, K: *n}, func(r driver.Result) {
+				d = r.Job.Duration()
+			})
+			sys.Run()
+			points = append(points, point{gbps, spec, d, relCost(gbps, spec)})
+			if best == 0 || d < best {
+				best = d
+			}
+			fmt.Printf("  %-12s", d)
+		}
+		fmt.Println()
+	}
+
+	// Recommend: cheapest point achieving target x best performance.
+	var pick *point
+	for i := range points {
+		p := &points[i]
+		if float64(best)/float64(p.time) >= *target {
+			if pick == nil || p.cost < pick.cost {
+				pick = p
+			}
+		}
+	}
+	fmt.Printf("\nbest time: %v\n", best)
+	fmt.Printf("recommendation (>= %.0f%% of best, lowest cost): %g GB/s PCIe + %s (%v, cost %.1f)\n",
+		*target*100, pick.gbps, pick.spec.Name, pick.time, pick.cost)
+}

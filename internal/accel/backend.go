@@ -1,0 +1,145 @@
+// Package accel implements the MatrixFlow accelerator of the paper's
+// case study: a 16x16 systolic-array GEMM engine wrapped with a
+// controller (CSR block), local buffer, multi-channel DMA, and a
+// device-memory path. Two interchangeable backends model the array —
+// a transaction-level tile model (the paper's "C++" design level) and
+// a register-accurate cycle model standing in for the Verilator RTL
+// path — plus an out-of-process protocol mirroring the paper's
+// child-process integration (see procmodel.go and cmd/safarm).
+package accel
+
+import "fmt"
+
+// Dim is the systolic array dimension: Dim x Dim multiply-accumulate
+// units (16 in MatrixFlow).
+const Dim = 16
+
+// Backend models the systolic array: timing (cycles per tile) and
+// functional computation of one Dim x Dim output tile over a full
+// K-depth dot product.
+//
+// Panel layouts are k-major: aPanel[k*Dim+i] holds A[i][k] of the
+// tile's row panel, bPanel[k*Dim+j] holds B[k][j] of the column panel;
+// the result c[i*Dim+j] holds the complete dot products.
+type Backend interface {
+	// Name identifies the backend in stats and logs.
+	Name() string
+	// TileCycles returns the array-clock cycles to compute one tile
+	// with the given K depth.
+	TileCycles(k int) uint64
+	// ComputeTile fills c (length Dim*Dim) from the panels.
+	ComputeTile(aPanel, bPanel []int32, k int, c []int32)
+}
+
+// TileModel is the transaction-level backend: one cycle per K step
+// once the pipeline is full, plus a fill/drain overhead. This is the
+// fast model used for large sweeps.
+type TileModel struct {
+	// FillDrain is the pipeline fill+drain overhead in cycles
+	// (default 2*(Dim-1)+2 = 32).
+	FillDrain int
+}
+
+// Name implements Backend.
+func (m TileModel) Name() string { return "tile" }
+
+// TileCycles implements Backend.
+func (m TileModel) TileCycles(k int) uint64 {
+	fd := m.FillDrain
+	if fd == 0 {
+		fd = 2*(Dim-1) + 2
+	}
+	return uint64(k + fd)
+}
+
+// ComputeTile implements Backend with a straight triple loop.
+func (m TileModel) ComputeTile(aPanel, bPanel []int32, k int, c []int32) {
+	checkPanels(aPanel, bPanel, k, c)
+	for i := 0; i < Dim; i++ {
+		for j := 0; j < Dim; j++ {
+			var acc int32
+			for kk := 0; kk < k; kk++ {
+				acc += aPanel[kk*Dim+i] * bPanel[kk*Dim+j]
+			}
+			c[i*Dim+j] = acc
+		}
+	}
+}
+
+// CycleModel steps an output-stationary Dim x Dim PE grid register by
+// register, one array clock at a time: operands enter skewed from the
+// west (A) and north (B) edges and propagate through pipeline
+// registers, each PE multiply-accumulating when its operands meet.
+// It is the reference for the RTL design level: same interface, exact
+// dataflow timing.
+type CycleModel struct{}
+
+// Name implements Backend.
+func (CycleModel) Name() string { return "cycle" }
+
+// TileCycles implements Backend: the last PE (Dim-1, Dim-1) receives
+// its final operands at cycle k-1 + (Dim-1) + (Dim-1), plus one cycle
+// to retire: k + 2*Dim - 1.
+func (CycleModel) TileCycles(k int) uint64 { return uint64(k + 2*Dim - 1) }
+
+// ComputeTile implements Backend by simulating the grid.
+func (CycleModel) ComputeTile(aPanel, bPanel []int32, k int, c []int32) {
+	checkPanels(aPanel, bPanel, k, c)
+	var aReg, bReg [Dim][Dim]int32 // operand pipeline registers
+	var acc [Dim][Dim]int32
+	var aNew, bNew [Dim][Dim]int32
+
+	total := k + 2*Dim - 1
+	for t := 0; t < total; t++ {
+		// Compute the next register state: operands shift east/south.
+		for i := 0; i < Dim; i++ {
+			for j := 0; j < Dim; j++ {
+				var av, bv int32
+				if j == 0 {
+					// West edge: row i receives A[i][t-i], skewed.
+					if kk := t - i; kk >= 0 && kk < k {
+						av = aPanel[kk*Dim+i]
+					}
+				} else {
+					av = aReg[i][j-1]
+				}
+				if i == 0 {
+					// North edge: column j receives B[t-j][j], skewed.
+					if kk := t - j; kk >= 0 && kk < k {
+						bv = bPanel[kk*Dim+j]
+					}
+				} else {
+					bv = bReg[i-1][j]
+				}
+				aNew[i][j] = av
+				bNew[i][j] = bv
+			}
+		}
+		aReg, bReg = aNew, bNew
+		// Each PE multiply-accumulates its current registers. With the
+		// skewed feed, PE(i,j) sees A[i][kk] and B[kk][j] aligned for
+		// kk = t - i - j; zeros elsewhere contribute nothing.
+		for i := 0; i < Dim; i++ {
+			for j := 0; j < Dim; j++ {
+				acc[i][j] += aReg[i][j] * bReg[i][j]
+			}
+		}
+	}
+	for i := 0; i < Dim; i++ {
+		for j := 0; j < Dim; j++ {
+			c[i*Dim+j] = acc[i][j]
+		}
+	}
+}
+
+func checkPanels(aPanel, bPanel []int32, k int, c []int32) {
+	if len(aPanel) < k*Dim || len(bPanel) < k*Dim {
+		panic(fmt.Sprintf("accel: panel too short for k=%d: a=%d b=%d", k, len(aPanel), len(bPanel)))
+	}
+	if len(c) < Dim*Dim {
+		panic("accel: result buffer shorter than a tile")
+	}
+}
+
+var _ Backend = TileModel{}
+var _ Backend = CycleModel{}

@@ -1,0 +1,143 @@
+package accel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The paper runs Verilator-compiled RTL accelerators as child
+// processes talking to gem5 over shared memory. This file implements
+// the equivalent integration for AcceSys: a synchronous wire protocol
+// that lets any Backend run outside the simulator process (or in a
+// separate goroutine). cmd/safarm serves the protocol over
+// stdin/stdout as a standalone "RTL model" process.
+//
+// Wire format (little-endian):
+//
+//	request:  op u8 | k u32 | payload
+//	  opTileCycles: no payload            -> reply cycles u64
+//	  opCompute:    a,b panels k*Dim i32  -> reply c tile Dim*Dim i32
+//	  opName:       no payload            -> reply len u32 | bytes
+
+const (
+	opTileCycles = 1
+	opCompute    = 2
+	opName       = 3
+)
+
+// Serve answers protocol requests from r, computing with backend b,
+// until EOF. It is the body of an accelerator model process.
+func Serve(r io.Reader, w io.Writer, b Backend) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	for {
+		var op [1]byte
+		if _, err := io.ReadFull(br, op[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		var k uint32
+		if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+			return err
+		}
+		switch op[0] {
+		case opTileCycles:
+			if err := binary.Write(bw, binary.LittleEndian, b.TileCycles(int(k))); err != nil {
+				return err
+			}
+		case opCompute:
+			a := make([]int32, int(k)*Dim)
+			bp := make([]int32, int(k)*Dim)
+			if err := binary.Read(br, binary.LittleEndian, a); err != nil {
+				return err
+			}
+			if err := binary.Read(br, binary.LittleEndian, bp); err != nil {
+				return err
+			}
+			c := make([]int32, Dim*Dim)
+			b.ComputeTile(a, bp, int(k), c)
+			if err := binary.Write(bw, binary.LittleEndian, c); err != nil {
+				return err
+			}
+		case opName:
+			name := []byte(b.Name())
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(name); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("accel: unknown protocol op %d", op[0])
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// RemoteBackend drives a Backend served at the far end of rw — a pipe
+// to a child process (cmd/safarm) or an in-process server goroutine.
+// Calls are synchronous, preserving simulator determinism.
+type RemoteBackend struct {
+	r *bufio.Reader
+	w io.Writer
+}
+
+// NewRemoteBackend wraps a connection to a protocol server.
+func NewRemoteBackend(r io.Reader, w io.Writer) *RemoteBackend {
+	return &RemoteBackend{r: bufio.NewReader(r), w: w}
+}
+
+func (rb *RemoteBackend) request(op byte, k int) {
+	var hdr [5]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(k))
+	if _, err := rb.w.Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("accel: remote backend write: %v", err))
+	}
+}
+
+// Name implements Backend by querying the server.
+func (rb *RemoteBackend) Name() string {
+	rb.request(opName, 0)
+	var n uint32
+	if err := binary.Read(rb.r, binary.LittleEndian, &n); err != nil {
+		panic(fmt.Sprintf("accel: remote backend read: %v", err))
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rb.r, buf); err != nil {
+		panic(fmt.Sprintf("accel: remote backend read: %v", err))
+	}
+	return "remote:" + string(buf)
+}
+
+// TileCycles implements Backend.
+func (rb *RemoteBackend) TileCycles(k int) uint64 {
+	rb.request(opTileCycles, k)
+	var cycles uint64
+	if err := binary.Read(rb.r, binary.LittleEndian, &cycles); err != nil {
+		panic(fmt.Sprintf("accel: remote backend read: %v", err))
+	}
+	return cycles
+}
+
+// ComputeTile implements Backend.
+func (rb *RemoteBackend) ComputeTile(aPanel, bPanel []int32, k int, c []int32) {
+	rb.request(opCompute, k)
+	if err := binary.Write(rb.w, binary.LittleEndian, aPanel[:k*Dim]); err != nil {
+		panic(fmt.Sprintf("accel: remote backend write: %v", err))
+	}
+	if err := binary.Write(rb.w, binary.LittleEndian, bPanel[:k*Dim]); err != nil {
+		panic(fmt.Sprintf("accel: remote backend write: %v", err))
+	}
+	if err := binary.Read(rb.r, binary.LittleEndian, c[:Dim*Dim]); err != nil {
+		panic(fmt.Sprintf("accel: remote backend read: %v", err))
+	}
+}
+
+var _ Backend = (*RemoteBackend)(nil)

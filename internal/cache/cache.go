@@ -1,0 +1,581 @@
+// Package cache implements the configurable cache hierarchy of the
+// framework: set-associative, write-back, write-allocate, non-blocking
+// caches with MSHRs, used for the L1 data/instruction caches, the
+// shared last-level cache (LLC), the IOCache on the PCIe path, and the
+// device-side cache.
+//
+// Coherence between the CPU caches and the accelerator path (the
+// paper's "cache coherency model between the accelerator's cache and
+// the CPU cache") is a snooping MSI protocol resolved atomically at the
+// LLC: upper-level caches register as Snoopers; every request accepted
+// by the LLC invalidates (writes) or downgrades (reads) the line in all
+// upper caches, pulling dirty data down with a configurable snoop
+// latency. State transitions are ordered at the coherence point and
+// take effect immediately while data movement is timed — the standard
+// atomic-snoop simplification. Two documented relaxations: a write hit
+// on a clean upper-level line does not broadcast an upgrade, and a
+// snoop cannot intercept a fill already in flight to an upper cache;
+// the workloads' phase-separated sharing (CPU writes, then DMA reads)
+// never exercises either race, and the DM access method instead uses
+// explicit driver-managed flushes as the paper prescribes.
+package cache
+
+import (
+	"fmt"
+
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+	"accesys/internal/stats"
+)
+
+// Snooper is implemented by upper-level caches participating in
+// coherence at a lower-level coherence point.
+type Snooper interface {
+	// SnoopInvalidate removes the line; it returns the dirty data if
+	// the line was modified.
+	SnoopInvalidate(lineAddr uint64) (wasDirty bool, data []byte)
+	// SnoopDowngrade demotes Modified to Shared; it returns the dirty
+	// data if the line was modified. Clean/absent lines are untouched.
+	SnoopDowngrade(lineAddr uint64) (wasDirty bool, data []byte)
+}
+
+// Config parameterizes a Cache.
+type Config struct {
+	SizeBytes int
+	Assoc     int
+	LineBytes int // default 64
+	// HitLatency is lookup-to-data for hits and lookup-to-fill-issue
+	// for misses.
+	HitLatency sim.Tick
+	// ResponseLatency is added between fill arrival and response.
+	ResponseLatency sim.Tick
+	// SnoopLatency is added when a snoop returns dirty data.
+	SnoopLatency sim.Tick
+	// MSHRs bounds outstanding line fills (default 8).
+	MSHRs int
+	// MemQueueDepth bounds queued downstream packets (default 32).
+	MemQueueDepth int
+}
+
+func (c *Config) setDefaults() {
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.MSHRs == 0 {
+		c.MSHRs = 8
+	}
+	if c.MemQueueDepth == 0 {
+		c.MemQueueDepth = 32
+	}
+	if c.HitLatency == 0 {
+		c.HitLatency = 2 * sim.Nanosecond
+	}
+	if c.ResponseLatency == 0 {
+		c.ResponseLatency = sim.Nanosecond
+	}
+	if c.SnoopLatency == 0 {
+		c.SnoopLatency = 4 * sim.Nanosecond
+	}
+}
+
+type line struct {
+	valid   bool
+	dirty   bool
+	tag     uint64
+	lastUse uint64
+	data    []byte
+}
+
+// txn tracks one original packet that may span several lines.
+type txn struct {
+	pkt       *mem.Packet
+	remaining int
+	finish    sim.Tick
+}
+
+// target is one line-sized slice of a transaction waiting on a fill.
+type target struct {
+	t       *txn
+	pktOff  int
+	lineOff int
+	n       int
+	isWrite bool
+}
+
+type mshr struct {
+	lineAddr uint64
+	targets  []target
+}
+
+type fillState struct{ m *mshr }
+type wbState struct{}
+type bypassState struct{}
+
+// Cache is one cache level with a single upstream (cpu-side) response
+// port and a single downstream (mem-side) request port.
+type Cache struct {
+	name string
+	eq   *sim.EventQueue
+	cfg  Config
+
+	cpuPort *mem.ResponsePort
+	memPort *mem.RequestPort
+	memQ    *mem.PacketQueue // downstream requests
+	respQ   *mem.PacketQueue // upstream responses
+
+	sets       [][]line
+	numSets    int
+	useCounter uint64
+
+	mshrs     map[uint64]*mshr
+	needRetry bool
+
+	snoopers []Snooper
+	downFunc mem.Functional
+
+	hits       *stats.Counter
+	misses     *stats.Counter
+	evictions  *stats.Counter
+	writebacks *stats.Counter
+	snoopDirty *stats.Counter
+	bypasses   *stats.Counter
+}
+
+// New builds a cache and registers statistics under name.
+func New(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config) *Cache {
+	cfg.setDefaults()
+	if cfg.SizeBytes <= 0 || cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache %s: size/assoc must be positive", name))
+	}
+	numSets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	if numSets == 0 || !mem.IsPow2(uint64(numSets)) {
+		panic(fmt.Sprintf("cache %s: %d sets (size %d / assoc %d / line %d) must be a power of two",
+			name, numSets, cfg.SizeBytes, cfg.Assoc, cfg.LineBytes))
+	}
+	c := &Cache{
+		name:    name,
+		eq:      eq,
+		cfg:     cfg,
+		numSets: numSets,
+		mshrs:   make(map[uint64]*mshr),
+	}
+	c.sets = make([][]line, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	c.cpuPort = mem.NewResponsePort(name+".cpu", c)
+	c.memPort = mem.NewRequestPort(name+".mem", c)
+	c.memQ = mem.NewPacketQueue(name+".memq", eq, func(p *mem.Packet) bool {
+		return c.memPort.SendTimingReq(p)
+	})
+	c.memQ.OnDrain = func() { c.retryAfterFree() }
+	c.respQ = mem.NewPacketQueue(name+".respq", eq, func(p *mem.Packet) bool {
+		return c.cpuPort.SendTimingResp(p)
+	})
+
+	g := reg.Group(name)
+	c.hits = g.Counter("hits", "line accesses that hit")
+	c.misses = g.Counter("misses", "line accesses that missed")
+	c.evictions = g.Counter("evictions", "lines evicted")
+	c.writebacks = g.Counter("writebacks", "dirty lines written back")
+	c.snoopDirty = g.Counter("snoop_dirty", "snoops that returned dirty data")
+	c.bypasses = g.Counter("bypasses", "uncacheable packets forwarded")
+	g.Formula("hit_rate", "hit fraction", func() float64 {
+		tot := c.hits.Value() + c.misses.Value()
+		if tot == 0 {
+			return 0
+		}
+		return c.hits.Value() / tot
+	})
+	return c
+}
+
+// CPUPort returns the upstream-facing response port.
+func (c *Cache) CPUPort() *mem.ResponsePort { return c.cpuPort }
+
+// MemPort returns the downstream-facing request port.
+func (c *Cache) MemPort() *mem.RequestPort { return c.memPort }
+
+// RegisterSnooper adds an upper-level cache to this cache's coherence
+// domain (used on the LLC).
+func (c *Cache) RegisterSnooper(s Snooper) { c.snoopers = append(c.snoopers, s) }
+
+// SetDownstreamFunctional wires the functional backdoor target below
+// this cache.
+func (c *Cache) SetDownstreamFunctional(f mem.Functional) { c.downFunc = f }
+
+func (c *Cache) lineBytes() uint64 { return uint64(c.cfg.LineBytes) }
+
+func (c *Cache) setIndex(lineAddr uint64) int {
+	return int((lineAddr / c.lineBytes()) % uint64(c.numSets))
+}
+
+func (c *Cache) lookup(lineAddr uint64) *line {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim picks a line to replace in lineAddr's set, writing back dirty
+// victims, and returns a reset line bound to lineAddr.
+func (c *Cache) victim(lineAddr uint64) *line {
+	set := c.sets[c.setIndex(lineAddr)]
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+	v := &set[vi]
+	if v.valid {
+		c.evictions.Inc()
+		if v.dirty {
+			c.writebacks.Inc()
+			wb := mem.NewWrite(v.tag, v.data)
+			wb.PushState(wbState{})
+			c.memQ.Schedule(wb, c.eq.Now())
+			v.data = nil // ownership moved to the writeback packet
+		}
+	}
+	if v.data == nil || len(v.data) != c.cfg.LineBytes {
+		v.data = make([]byte, c.cfg.LineBytes)
+	} else {
+		for i := range v.data {
+			v.data[i] = 0
+		}
+	}
+	v.valid = true
+	v.dirty = false
+	v.tag = lineAddr
+	c.useCounter++
+	v.lastUse = c.useCounter
+	return v
+}
+
+// apply copies data between a packet segment and a cache line.
+func (c *Cache) apply(l *line, tg target) {
+	pkt := tg.t.pkt
+	if tg.isWrite {
+		if pkt.Data != nil {
+			copy(l.data[tg.lineOff:tg.lineOff+tg.n], pkt.Data[tg.pktOff:tg.pktOff+tg.n])
+		}
+		l.dirty = true
+	} else {
+		if pkt.Data == nil {
+			pkt.Data = make([]byte, pkt.Size)
+		}
+		copy(pkt.Data[tg.pktOff:tg.pktOff+tg.n], l.data[tg.lineOff:tg.lineOff+tg.n])
+	}
+	c.useCounter++
+	l.lastUse = c.useCounter
+}
+
+func (c *Cache) lineDone(t *txn, at sim.Tick) {
+	if at > t.finish {
+		t.finish = at
+	}
+	t.remaining--
+	if t.remaining == 0 {
+		t.pkt.MakeResponse()
+		c.respQ.Schedule(t.pkt, t.finish)
+	}
+}
+
+// snoopLine consults all registered snoopers for a line; returns dirty
+// data if any upper cache owned it.
+func (c *Cache) snoopLine(lineAddr uint64, isWrite bool) (bool, []byte) {
+	var gotDirty bool
+	var dirtyData []byte
+	for _, sn := range c.snoopers {
+		var d bool
+		var data []byte
+		if isWrite {
+			d, data = sn.SnoopInvalidate(lineAddr)
+		} else {
+			d, data = sn.SnoopDowngrade(lineAddr)
+		}
+		if d {
+			gotDirty = true
+			dirtyData = data
+			c.snoopDirty.Inc()
+		}
+	}
+	return gotDirty, dirtyData
+}
+
+// RecvTimingReq implements mem.Responder.
+func (c *Cache) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool {
+	lb := c.lineBytes()
+	now := c.eq.Now()
+
+	if pkt.Uncacheable {
+		if c.memQ.Len() >= c.cfg.MemQueueDepth {
+			c.needRetry = true
+			return false
+		}
+		c.bypasses.Inc()
+		pkt.PushState(bypassState{})
+		c.memQ.Schedule(pkt, now+c.cfg.HitLatency)
+		return true
+	}
+
+	// Admission: worst case every covered line needs a new MSHR.
+	first := mem.AlignDown(pkt.Addr, lb)
+	last := mem.AlignDown(pkt.Addr+uint64(pkt.Size)-1, lb)
+	linesCovered := int((last-first)/lb) + 1
+	if len(c.mshrs)+linesCovered > c.cfg.MSHRs || c.memQ.Len() >= c.cfg.MemQueueDepth {
+		c.needRetry = true
+		return false
+	}
+
+	isWrite := pkt.Cmd.IsWrite()
+	if pkt.Cmd.IsRead() && pkt.Data == nil {
+		pkt.Data = make([]byte, pkt.Size)
+	}
+	t := &txn{pkt: pkt, remaining: linesCovered}
+
+	for la := first; la <= last; la += lb {
+		ovStart := la
+		if pkt.Addr > ovStart {
+			ovStart = pkt.Addr
+		}
+		ovEnd := la + lb
+		if pkt.Addr+uint64(pkt.Size) < ovEnd {
+			ovEnd = pkt.Addr + uint64(pkt.Size)
+		}
+		tg := target{
+			t:       t,
+			pktOff:  int(ovStart - pkt.Addr),
+			lineOff: int(ovStart - la),
+			n:       int(ovEnd - ovStart),
+			isWrite: isWrite,
+		}
+
+		extra := sim.Tick(0)
+		if len(c.snoopers) > 0 {
+			if dirty, data := c.snoopLine(la, isWrite); dirty {
+				// Take ownership of the dirty line.
+				l := c.lookup(la)
+				if l == nil {
+					l = c.victim(la)
+				}
+				copy(l.data, data)
+				l.dirty = true
+				extra = c.cfg.SnoopLatency
+			}
+		}
+
+		if l := c.lookup(la); l != nil {
+			c.hits.Inc()
+			c.apply(l, tg)
+			c.lineDone(t, now+c.cfg.HitLatency+extra)
+			continue
+		}
+
+		// Full-line write: install without fetching.
+		if isWrite && tg.n == int(lb) {
+			c.hits.Inc()
+			l := c.victim(la)
+			c.apply(l, tg)
+			c.lineDone(t, now+c.cfg.HitLatency+extra)
+			continue
+		}
+
+		c.misses.Inc()
+		if m, ok := c.mshrs[la]; ok {
+			m.targets = append(m.targets, tg)
+			continue
+		}
+		m := &mshr{lineAddr: la, targets: []target{tg}}
+		c.mshrs[la] = m
+		fill := mem.NewRead(la, int(lb))
+		fill.PushState(fillState{m: m})
+		c.memQ.Schedule(fill, now+c.cfg.HitLatency+extra)
+	}
+	return true
+}
+
+// RecvTimingResp implements mem.Requestor: fills, writeback acks, and
+// bypass responses come back from downstream.
+func (c *Cache) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
+	now := c.eq.Now()
+	switch st := pkt.PopState().(type) {
+	case wbState:
+		// Writeback acknowledged; resources may have freed.
+		c.retryAfterFree()
+		return true
+	case bypassState:
+		c.respQ.Schedule(pkt, now+c.cfg.ResponseLatency)
+		c.retryAfterFree()
+		return true
+	case fillState:
+		m := st.m
+		l := c.victim(m.lineAddr)
+		copy(l.data, pkt.Data)
+		for _, tg := range m.targets {
+			c.apply(l, tg)
+			c.lineDone(tg.t, now+c.cfg.ResponseLatency)
+		}
+		delete(c.mshrs, m.lineAddr)
+		c.retryAfterFree()
+		return true
+	default:
+		panic(fmt.Sprintf("%s: unexpected response state %T", c.name, st))
+	}
+}
+
+func (c *Cache) retryAfterFree() {
+	if !c.needRetry {
+		return
+	}
+	c.needRetry = false
+	c.cpuPort.SendRetryReq()
+}
+
+// RecvRetryReq implements mem.Requestor: downstream is ready again.
+func (c *Cache) RecvRetryReq(port *mem.RequestPort) { c.memQ.RetryReceived() }
+
+// RecvRetryResp implements mem.Responder: upstream is ready again.
+func (c *Cache) RecvRetryResp(port *mem.ResponsePort) { c.respQ.RetryReceived() }
+
+// SnoopInvalidate implements Snooper.
+func (c *Cache) SnoopInvalidate(lineAddr uint64) (bool, []byte) {
+	l := c.lookup(lineAddr)
+	if l == nil {
+		return false, nil
+	}
+	dirty := l.dirty
+	var data []byte
+	if dirty {
+		data = make([]byte, len(l.data))
+		copy(data, l.data)
+	}
+	l.valid = false
+	l.dirty = false
+	return dirty, data
+}
+
+// SnoopDowngrade implements Snooper.
+func (c *Cache) SnoopDowngrade(lineAddr uint64) (bool, []byte) {
+	l := c.lookup(lineAddr)
+	if l == nil || !l.dirty {
+		return false, nil
+	}
+	data := make([]byte, len(l.data))
+	copy(data, l.data)
+	l.dirty = false
+	return true, data
+}
+
+// ReadFunctional implements mem.Functional: cached lines win over
+// downstream contents.
+func (c *Cache) ReadFunctional(addr uint64, buf []byte) {
+	if c.downFunc != nil {
+		c.downFunc.ReadFunctional(addr, buf)
+	}
+	lb := c.lineBytes()
+	first := mem.AlignDown(addr, lb)
+	for la := first; la < addr+uint64(len(buf)); la += lb {
+		if l := c.lookup(la); l != nil {
+			ovStart, ovEnd := la, la+lb
+			if addr > ovStart {
+				ovStart = addr
+			}
+			if addr+uint64(len(buf)) < ovEnd {
+				ovEnd = addr + uint64(len(buf))
+			}
+			copy(buf[ovStart-addr:ovEnd-addr], l.data[ovStart-la:ovEnd-la])
+		}
+	}
+}
+
+// WriteFunctional implements mem.Functional: write-through — cached
+// lines are updated and the data always propagates downstream.
+func (c *Cache) WriteFunctional(addr uint64, data []byte) {
+	lb := c.lineBytes()
+	first := mem.AlignDown(addr, lb)
+	for la := first; la < addr+uint64(len(data)); la += lb {
+		if l := c.lookup(la); l != nil {
+			ovStart, ovEnd := la, la+lb
+			if addr > ovStart {
+				ovStart = addr
+			}
+			if addr+uint64(len(data)) < ovEnd {
+				ovEnd = addr + uint64(len(data))
+			}
+			copy(l.data[ovStart-la:ovEnd-la], data[ovStart-addr:ovEnd-addr])
+		}
+	}
+	if c.downFunc != nil {
+		c.downFunc.WriteFunctional(addr, data)
+	}
+}
+
+// OverlayFunctional copies the contents of any cached lines in
+// [addr, addr+len(buf)) over buf, leaving uncached bytes untouched.
+// System-level functional reads use it to let upper-level caches win
+// over the lower-level view.
+func (c *Cache) OverlayFunctional(addr uint64, buf []byte) {
+	lb := c.lineBytes()
+	first := mem.AlignDown(addr, lb)
+	for la := first; la < addr+uint64(len(buf)); la += lb {
+		if l := c.lookup(la); l != nil {
+			ovStart, ovEnd := la, la+lb
+			if addr > ovStart {
+				ovStart = addr
+			}
+			if addr+uint64(len(buf)) < ovEnd {
+				ovEnd = addr + uint64(len(buf))
+			}
+			copy(buf[ovStart-addr:ovEnd-addr], l.data[ovStart-la:ovEnd-la])
+		}
+	}
+}
+
+// UpdateFunctional writes data into any cached lines it covers without
+// forwarding downstream; the caller handles the lower levels.
+func (c *Cache) UpdateFunctional(addr uint64, data []byte) {
+	lb := c.lineBytes()
+	first := mem.AlignDown(addr, lb)
+	for la := first; la < addr+uint64(len(data)); la += lb {
+		if l := c.lookup(la); l != nil {
+			ovStart, ovEnd := la, la+lb
+			if addr > ovStart {
+				ovStart = addr
+			}
+			if addr+uint64(len(data)) < ovEnd {
+				ovEnd = addr + uint64(len(data))
+			}
+			copy(l.data[ovStart-la:ovEnd-la], data[ovStart-addr:ovEnd-addr])
+		}
+	}
+}
+
+// FlushAll writes every dirty line downstream functionally and
+// invalidates the whole cache — the driver-managed flush used by the
+// DM access method.
+func (c *Cache) FlushAll() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty && c.downFunc != nil {
+				c.downFunc.WriteFunctional(l.tag, l.data)
+			}
+			l.valid = false
+			l.dirty = false
+		}
+	}
+}
+
+var _ mem.Requestor = (*Cache)(nil)
+var _ mem.Responder = (*Cache)(nil)
+var _ mem.Functional = (*Cache)(nil)
+var _ Snooper = (*Cache)(nil)

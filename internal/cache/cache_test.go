@@ -1,0 +1,422 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"accesys/internal/mem"
+	"accesys/internal/memtest"
+	"accesys/internal/sim"
+	"accesys/internal/stats"
+)
+
+// rig: requestor -> cache -> echo memory.
+type rig struct {
+	eq    *sim.EventQueue
+	c     *Cache
+	req   *memtest.Requestor
+	mem   *memtest.EchoResponder
+	reg   *stats.Registry
+	under Config
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	eq := sim.NewEventQueue()
+	reg := stats.NewRegistry()
+	if cfg.SizeBytes == 0 {
+		cfg.SizeBytes = 8 << 10 // 8 KiB
+	}
+	if cfg.Assoc == 0 {
+		cfg.Assoc = 2
+	}
+	if cfg.HitLatency == 0 {
+		cfg.HitLatency = 2 * sim.Nanosecond
+	}
+	c := New("l1", eq, reg, cfg)
+	r := memtest.NewRequestor(eq)
+	m := memtest.NewEchoResponder(eq, 0, 1<<20, 50*sim.Nanosecond)
+	mem.Bind(r.Port, c.CPUPort())
+	mem.Bind(c.MemPort(), m.Port)
+	c.SetDownstreamFunctional(struct{ mem.Functional }{funcStore{m}})
+	return &rig{eq: eq, c: c, req: r, mem: m, reg: reg, under: cfg}
+}
+
+// funcStore adapts EchoResponder's storage to mem.Functional.
+type funcStore struct{ m *memtest.EchoResponder }
+
+func (f funcStore) ReadFunctional(addr uint64, buf []byte)   { f.m.Store.Read(addr, buf) }
+func (f funcStore) WriteFunctional(addr uint64, data []byte) { f.m.Store.Write(addr, data) }
+
+func TestMissThenHit(t *testing.T) {
+	rg := newRig(t, Config{})
+	rg.mem.Store.Write(0x100, []byte{1, 2, 3, 4})
+
+	first := mem.NewRead(0x100, 4)
+	rg.req.Send(first)
+	rg.eq.Run()
+	if len(rg.req.Done) != 1 {
+		t.Fatal("first read lost")
+	}
+	missLat := rg.req.DoneAt[0]
+	if !bytes.Equal(first.Data, []byte{1, 2, 3, 4}) {
+		t.Fatalf("miss data %v", first.Data)
+	}
+
+	second := mem.NewRead(0x100, 4)
+	rg.req.Send(second)
+	start := rg.eq.Now()
+	rg.eq.Run()
+	hitLat := rg.eq.Now() - start
+	if !bytes.Equal(second.Data, []byte{1, 2, 3, 4}) {
+		t.Fatalf("hit data %v", second.Data)
+	}
+	if hitLat >= missLat {
+		t.Fatalf("hit latency %v should beat miss latency %v", hitLat, missLat)
+	}
+	if rg.reg.Lookup("l1.hits").Value() != 1 || rg.reg.Lookup("l1.misses").Value() != 1 {
+		t.Fatalf("hit/miss counters wrong: %v/%v",
+			rg.reg.Lookup("l1.hits").Value(), rg.reg.Lookup("l1.misses").Value())
+	}
+}
+
+func TestWriteAllocateAndWriteback(t *testing.T) {
+	rg := newRig(t, Config{SizeBytes: 256, Assoc: 1, LineBytes: 64}) // 4 sets
+	// Dirty a line, then evict it by touching the conflicting address.
+	rg.req.Send(mem.NewWrite(0x0, []byte{0xaa, 0xbb}))
+	rg.eq.Run()
+	// Partial write allocates via fill; line now dirty.
+	rg.req.Send(mem.NewRead(0x100, 4)) // same set (4 sets * 64B = 256B period)
+	rg.eq.Run()
+	rg.req.Send(mem.NewRead(0x200, 4)) // evicts one of them eventually
+	rg.req.Send(mem.NewRead(0x300, 4))
+	rg.eq.Run()
+	if rg.reg.Lookup("l1.writebacks").Value() < 1 {
+		t.Fatal("dirty eviction should write back")
+	}
+	got := make([]byte, 2)
+	rg.mem.Store.Read(0x0, got)
+	if !bytes.Equal(got, []byte{0xaa, 0xbb}) {
+		t.Fatalf("writeback did not reach memory: %v", got)
+	}
+}
+
+func TestReadYourWrite(t *testing.T) {
+	rg := newRig(t, Config{})
+	rg.req.Send(mem.NewWrite(0x40, []byte{9, 9, 9, 9}))
+	rd := mem.NewRead(0x40, 4)
+	rg.req.SendAt(rd, 10*sim.Microsecond)
+	rg.eq.Run()
+	if !bytes.Equal(rd.Data, []byte{9, 9, 9, 9}) {
+		t.Fatalf("read-your-write got %v", rd.Data)
+	}
+}
+
+func TestFullLineWriteNoFetch(t *testing.T) {
+	rg := newRig(t, Config{LineBytes: 64})
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	rg.req.Send(mem.NewWrite(0x400, data))
+	rg.eq.Run()
+	// No downstream fill should have been issued.
+	if len(rg.mem.Requests) != 0 {
+		t.Fatalf("full-line write fetched %d packets from memory", len(rg.mem.Requests))
+	}
+	rd := mem.NewRead(0x400, 64)
+	rg.req.Send(rd)
+	rg.eq.Run()
+	if !bytes.Equal(rd.Data, data) {
+		t.Fatal("full-line write data lost")
+	}
+}
+
+func TestMultiLineRequest(t *testing.T) {
+	rg := newRig(t, Config{LineBytes: 64})
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	rg.mem.Store.Write(0x1000, payload)
+	rd := mem.NewRead(0x1000, 256)
+	rg.req.Send(rd)
+	rg.eq.Run()
+	if !bytes.Equal(rd.Data, payload) {
+		t.Fatal("multi-line read mismatch")
+	}
+	if rg.reg.Lookup("l1.misses").Value() != 4 {
+		t.Fatalf("expected 4 line misses, got %v", rg.reg.Lookup("l1.misses").Value())
+	}
+}
+
+func TestUnalignedCrossLine(t *testing.T) {
+	rg := newRig(t, Config{LineBytes: 64})
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	rg.mem.Store.Write(60, payload) // crosses the 64B boundary
+	rd := mem.NewRead(60, 8)
+	rg.req.Send(rd)
+	rg.eq.Run()
+	if !bytes.Equal(rd.Data, payload) {
+		t.Fatalf("cross-line read %v", rd.Data)
+	}
+}
+
+func TestMSHRCoalescing(t *testing.T) {
+	rg := newRig(t, Config{})
+	// Two reads to the same line while the fill is outstanding must
+	// produce a single downstream fill.
+	rg.req.Send(mem.NewRead(0x80, 4))
+	rg.req.Send(mem.NewRead(0x84, 4))
+	rg.eq.Run()
+	if len(rg.mem.Requests) != 1 {
+		t.Fatalf("expected 1 coalesced fill, got %d", len(rg.mem.Requests))
+	}
+	if len(rg.req.Done) != 2 {
+		t.Fatal("both requests must complete")
+	}
+}
+
+func TestMSHRLimitBackpressure(t *testing.T) {
+	rg := newRig(t, Config{MSHRs: 2})
+	for i := 0; i < 8; i++ {
+		rg.req.Send(mem.NewRead(uint64(i)*64, 4))
+	}
+	rg.eq.Run()
+	if len(rg.req.Done) != 8 {
+		t.Fatalf("completed %d of 8 under MSHR pressure", len(rg.req.Done))
+	}
+}
+
+func TestUncacheableBypass(t *testing.T) {
+	rg := newRig(t, Config{})
+	p := mem.NewRead(0x500, 8)
+	p.Uncacheable = true
+	rg.req.Send(p)
+	rg.eq.Run()
+	if rg.reg.Lookup("l1.bypasses").Value() != 1 {
+		t.Fatal("uncacheable packet should bypass")
+	}
+	// A second uncacheable access still goes downstream (no caching).
+	p2 := mem.NewRead(0x500, 8)
+	p2.Uncacheable = true
+	rg.req.Send(p2)
+	rg.eq.Run()
+	if len(rg.mem.Requests) != 2 {
+		t.Fatalf("bypass must not allocate: %d mem requests", len(rg.mem.Requests))
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Direct-mapped 4-set cache: lines at stride 256 collide.
+	rg := newRig(t, Config{SizeBytes: 512, Assoc: 2, LineBytes: 64})
+	// Fill both ways of set 0: addrs 0 and 256.
+	rg.req.Send(mem.NewRead(0, 4))
+	rg.eq.Run()
+	rg.req.Send(mem.NewRead(256, 4))
+	rg.eq.Run()
+	// Touch 0 so 256 becomes LRU, then insert 512 -> evicts 256.
+	rg.req.Send(mem.NewRead(0, 4))
+	rg.eq.Run()
+	rg.req.Send(mem.NewRead(512, 4))
+	rg.eq.Run()
+	hitsBefore := rg.reg.Lookup("l1.hits").Value()
+	rg.req.Send(mem.NewRead(0, 4)) // must still hit
+	rg.eq.Run()
+	if rg.reg.Lookup("l1.hits").Value() != hitsBefore+1 {
+		t.Fatal("LRU evicted the recently used line")
+	}
+}
+
+func TestSnoopDowngradePullsDirtyData(t *testing.T) {
+	// upper cache (l1) above llc: llc snoops l1.
+	eq := sim.NewEventQueue()
+	reg := stats.NewRegistry()
+	l1 := New("l1x", eq, reg, Config{SizeBytes: 1 << 10, Assoc: 2, HitLatency: sim.Nanosecond})
+	llc := New("llcx", eq, reg, Config{SizeBytes: 8 << 10, Assoc: 4, HitLatency: 5 * sim.Nanosecond})
+	llc.RegisterSnooper(l1)
+
+	cpu := memtest.NewRequestor(eq)
+	dma := memtest.NewRequestor(eq)
+	m := memtest.NewEchoResponder(eq, 0, 1<<20, 30*sim.Nanosecond)
+	mem.Bind(cpu.Port, l1.CPUPort())
+	mem.Bind(dma.Port, llc.CPUPort())
+	mem.Bind(llc.MemPort(), m.Port)
+	// l1 would normally sit above llc via a bus; for this test the l1
+	// mem port hangs unbound: writes stay dirty in l1.
+
+	// CPU dirties a line in l1 (write allocate fetches via llc... l1's
+	// mem port is unbound, so pre-load the line with a full-line write
+	// that needs no fetch).
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = 0x77
+	}
+	cpu.Send(mem.NewWrite(0x200, line))
+	eq.Run()
+
+	// DMA reads the same line through the LLC: the snoop must pull the
+	// dirty data out of l1.
+	rd := mem.NewRead(0x200, 64)
+	dma.Send(rd)
+	eq.Run()
+	if !bytes.Equal(rd.Data, line) {
+		t.Fatalf("snoop read %v..., want 0x77s", rd.Data[:4])
+	}
+	if reg.Lookup("llcx.snoop_dirty").Value() != 1 {
+		t.Fatal("snoop_dirty not counted")
+	}
+	// Downgrade leaves l1's copy valid and clean: a CPU re-read hits.
+	hits := reg.Lookup("l1x.hits").Value()
+	rd2 := mem.NewRead(0x200, 64)
+	cpu.Send(rd2)
+	eq.Run()
+	if reg.Lookup("l1x.hits").Value() != hits+1 {
+		t.Fatal("downgraded line should still hit in l1")
+	}
+}
+
+func TestSnoopInvalidateOnWrite(t *testing.T) {
+	eq := sim.NewEventQueue()
+	reg := stats.NewRegistry()
+	l1 := New("l1y", eq, reg, Config{SizeBytes: 1 << 10, Assoc: 2, HitLatency: sim.Nanosecond})
+	llc := New("llcy", eq, reg, Config{SizeBytes: 8 << 10, Assoc: 4, HitLatency: 5 * sim.Nanosecond})
+	llc.RegisterSnooper(l1)
+	cpu := memtest.NewRequestor(eq)
+	dma := memtest.NewRequestor(eq)
+	m := memtest.NewEchoResponder(eq, 0, 1<<20, 30*sim.Nanosecond)
+	mem.Bind(cpu.Port, l1.CPUPort())
+	mem.Bind(dma.Port, llc.CPUPort())
+	mem.Bind(llc.MemPort(), m.Port)
+
+	line := make([]byte, 64)
+	cpu.Send(mem.NewWrite(0x300, line))
+	eq.Run()
+
+	// DMA full-line write invalidates l1's copy.
+	newData := make([]byte, 64)
+	for i := range newData {
+		newData[i] = 0x11
+	}
+	dma.Send(mem.NewWrite(0x300, newData))
+	eq.Run()
+
+	misses := reg.Lookup("l1y.misses").Value()
+	_ = misses
+	if got, _ := l1.SnoopDowngrade(0x300); got {
+		t.Fatal("l1 line should have been invalidated, not dirty")
+	}
+	if l1.lookup(0x300) != nil {
+		t.Fatal("l1 line should be gone after invalidation snoop")
+	}
+}
+
+func TestFunctionalThroughCache(t *testing.T) {
+	rg := newRig(t, Config{})
+	// Timing write dirties the cache; functional read must see it.
+	line := make([]byte, 64)
+	line[0] = 0xfe
+	rg.req.Send(mem.NewWrite(0x600, line))
+	rg.eq.Run()
+	got := make([]byte, 1)
+	rg.c.ReadFunctional(0x600, got)
+	if got[0] != 0xfe {
+		t.Fatalf("functional read through cache got %#x", got[0])
+	}
+	// Functional write visible to timing read (hit path).
+	rg.c.WriteFunctional(0x600, []byte{0x5c})
+	rd := mem.NewRead(0x600, 1)
+	rg.req.Send(rd)
+	rg.eq.Run()
+	if rd.Data[0] != 0x5c {
+		t.Fatalf("timing read after functional write got %#x", rd.Data[0])
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	rg := newRig(t, Config{})
+	line := make([]byte, 64)
+	line[5] = 0xab
+	rg.req.Send(mem.NewWrite(0x700, line))
+	rg.eq.Run()
+	rg.c.FlushAll()
+	got := make([]byte, 64)
+	rg.mem.Store.Read(0x700, got)
+	if got[5] != 0xab {
+		t.Fatal("flush did not push dirty data downstream")
+	}
+	// After flush the next access misses.
+	misses := rg.reg.Lookup("l1.misses").Value()
+	rg.req.Send(mem.NewRead(0x700, 4))
+	rg.eq.Run()
+	if rg.reg.Lookup("l1.misses").Value() != misses+1 {
+		t.Fatal("flush should invalidate lines")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	eq := sim.NewEventQueue()
+	reg := stats.NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets should panic")
+		}
+	}()
+	New("bad", eq, reg, Config{SizeBytes: 3000, Assoc: 2, LineBytes: 64})
+}
+
+// Property: randomized mixed reads/writes through the cache always
+// agree with a flat reference model.
+func TestCacheVsReferenceProperty(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint16
+		Write bool
+		Val   byte
+	}) bool {
+		rg := newRig(t, Config{SizeBytes: 512, Assoc: 2, LineBytes: 64})
+		ref := make([]byte, 1<<16+8)
+		okAll := true
+		for _, op := range ops {
+			addr := uint64(op.Addr)
+			if op.Write {
+				rg.req.Send(mem.NewWrite(addr, []byte{op.Val, op.Val ^ 0xff}))
+				ref[addr], ref[addr+1] = op.Val, op.Val^0xff
+			} else {
+				rd := mem.NewRead(addr, 2)
+				want0, want1 := ref[addr], ref[addr+1]
+				rd2 := rd
+				rg.req.OnDone = func(p *mem.Packet) {
+					if p == rd2 && (p.Data[0] != want0 || p.Data[1] != want1) {
+						okAll = false
+					}
+				}
+				rg.req.Send(rd)
+			}
+			rg.eq.Run()
+			rg.req.OnDone = nil
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: set indexing is uniform for stride-64 addresses.
+func TestSetIndexCoverage(t *testing.T) {
+	rg := newRig(t, Config{SizeBytes: 4 << 10, Assoc: 2, LineBytes: 64})
+	counts := make(map[int]int)
+	for a := uint64(0); a < 1<<16; a += 64 {
+		counts[rg.c.setIndex(a)]++
+	}
+	if len(counts) != rg.c.numSets {
+		t.Fatalf("covered %d sets of %d", len(counts), rg.c.numSets)
+	}
+	want := counts[0]
+	for s, n := range counts {
+		if n != want {
+			t.Fatalf("set %d has %d accesses, want %d", s, n, want)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"accesys/internal/accel"
+	"accesys/internal/cache"
+	"accesys/internal/cpu"
+	"accesys/internal/dram"
+	"accesys/internal/interconnect"
+	"accesys/internal/mem"
+	"accesys/internal/pcie"
+	"accesys/internal/sim"
+	"accesys/internal/simplemem"
+	"accesys/internal/smmu"
+	"accesys/internal/stats"
+)
+
+// System is a fully wired AcceSys platform.
+type System struct {
+	Cfg   Config
+	EQ    *sim.EventQueue
+	Stats *stats.Registry
+
+	CPU     *cpu.CPU
+	L1D     *cache.Cache
+	L1I     *cache.Cache
+	LLC     *cache.Cache
+	IOCache *cache.Cache
+
+	Bus    *interconnect.Bus
+	DevBus *interconnect.Bus
+
+	HostDRAM   *dram.DRAM        // nil when HostSimple is used
+	HostSimple *simplemem.Memory // nil when banked DRAM is used
+	DevDRAM    *dram.DRAM
+
+	Tree *pcie.Tree
+	SMMU *smmu.SMMU
+	// Accel is cluster member 0; Accels lists the whole cluster.
+	Accel  *accel.MatrixFlow
+	Accels []*accel.MatrixFlow
+
+	hostFunc mem.Functional
+}
+
+// Build wires a System from a Config.
+func Build(cfg Config) *System {
+	cfg.setDefaults()
+	eq := sim.NewEventQueue()
+	reg := stats.NewRegistry()
+	n := cfg.Name
+
+	s := &System{Cfg: cfg, EQ: eq, Stats: reg}
+
+	// --- Host memory behind the LLC ---------------------------------
+	var hostPort *mem.ResponsePort
+	var hostFunc mem.Functional
+	if cfg.HostSimple != nil {
+		s.HostSimple = simplemem.New(n+".hostmem", eq, reg, simplemem.Config{
+			Range:         cfg.HostRange(),
+			Latency:       cfg.HostSimple.Latency,
+			BandwidthGBps: cfg.HostSimple.BandwidthGBps,
+		})
+		hostPort = s.HostSimple.Port()
+		hostFunc = s.HostSimple
+	} else {
+		s.HostDRAM = dram.New(n+".hostmem", eq, reg, dram.Config{
+			Spec:  cfg.HostSpec,
+			Range: cfg.HostRange(),
+		})
+		hostPort = s.HostDRAM.Port()
+		hostFunc = s.HostDRAM
+	}
+
+	s.LLC = cache.New(n+".llc", eq, reg, cache.Config{
+		SizeBytes:     cfg.LLCBytes,
+		Assoc:         16,
+		HitLatency:    10 * sim.Nanosecond,
+		MSHRs:         64,
+		MemQueueDepth: 64,
+	})
+	mem.Bind(s.LLC.MemPort(), hostPort)
+	s.LLC.SetDownstreamFunctional(hostFunc)
+
+	// --- Memory bus --------------------------------------------------
+	s.Bus = interconnect.New(n+".membus", eq, reg, interconnect.Config{
+		Latency:    cfg.BusLatency,
+		QueueDepth: 64,
+	})
+	mem.Bind(s.Bus.AddResponderPort("llc", cfg.HostRange()), s.LLC.CPUPort())
+
+	// --- CPU cluster -------------------------------------------------
+	s.CPU = cpu.New(n+".cpu", eq, reg, cpu.Config{ClockMHz: cfg.CPUClockMHz, MLP: cfg.CPUMLP})
+	s.L1D = cache.New(n+".l1d", eq, reg, cache.Config{
+		SizeBytes:  cfg.L1DBytes,
+		Assoc:      4,
+		HitLatency: 2 * sim.Nanosecond,
+		MSHRs:      16,
+	})
+	s.L1I = cache.New(n+".l1i", eq, reg, cache.Config{
+		SizeBytes:  cfg.L1IBytes,
+		Assoc:      4,
+		HitLatency: 2 * sim.Nanosecond,
+		MSHRs:      8,
+	})
+	mem.Bind(s.CPU.Port(), s.L1D.CPUPort())
+	mem.Bind(s.L1D.MemPort(), s.Bus.AddRequestorPort("l1d"))
+	mem.Bind(s.L1I.MemPort(), s.Bus.AddRequestorPort("l1i"))
+	s.L1D.SetDownstreamFunctional(s.LLC)
+	s.L1I.SetDownstreamFunctional(s.LLC)
+
+	// --- PCIe fabric --------------------------------------------------
+	// Each cluster member claims its BAR; endpoint 0 also claims the
+	// device-memory window (members share DevMem through the device bus).
+	var epRanges [][]mem.AddrRange
+	for i := 0; i < cfg.Accelerators; i++ {
+		ranges := []mem.AddrRange{cfg.BARRangeOf(i)}
+		if i == 0 {
+			ranges = append(ranges, cfg.DevRange())
+		}
+		epRanges = append(epRanges, ranges)
+	}
+	s.Tree = pcie.NewTree(n+".pcie", eq, reg, cfg.PCIe, epRanges...)
+
+	// Host-initiated traffic to the device windows goes through the RC.
+	rcPort := s.Bus.AddResponderPort("rc", cfg.BARRangeOf(0))
+	for i := 1; i < cfg.Accelerators; i++ {
+		s.Bus.AddRange(rcPort, cfg.BARRangeOf(i))
+	}
+	s.Bus.AddRange(rcPort, cfg.DevRange())
+	mem.Bind(rcPort, s.Tree.RC.HostPort())
+
+	// --- SMMU + IOCache on the upstream (DMA) path --------------------
+	s.SMMU = smmu.New(n+".smmu", eq, reg, cfg.SMMU)
+	mem.Bind(s.Tree.RC.UpstreamPort(), s.SMMU.DevPort())
+
+	s.IOCache = cache.New(n+".iocache", eq, reg, cache.Config{
+		SizeBytes:     cfg.IOCacheB,
+		Assoc:         4,
+		HitLatency:    4 * sim.Nanosecond,
+		MSHRs:         128,
+		MemQueueDepth: 128,
+	})
+	mem.Bind(s.SMMU.MemPort(), s.IOCache.CPUPort())
+	mem.Bind(s.IOCache.MemPort(), s.Bus.AddRequestorPort("iocache"))
+	s.IOCache.SetDownstreamFunctional(s.LLC)
+
+	// Coherence: the LLC snoops every upper cache.
+	s.LLC.RegisterSnooper(s.L1D)
+	s.LLC.RegisterSnooper(s.L1I)
+	s.LLC.RegisterSnooper(s.IOCache)
+
+	// --- Device side ---------------------------------------------------
+	s.DevDRAM = dram.New(n+".devmem", eq, reg, dram.Config{
+		Spec:  cfg.DevSpec,
+		Range: cfg.DevRange(),
+	})
+
+	s.DevBus = interconnect.New(n+".devbus", eq, reg, interconnect.Config{
+		Latency:    cfg.DevBusLat,
+		QueueDepth: 64,
+	})
+	mem.Bind(s.DevBus.AddResponderPort("devmem", cfg.DevRange()), s.DevDRAM.Port())
+
+	for i := 0; i < cfg.Accelerators; i++ {
+		acfg := cfg.Accel
+		acfg.BAR = cfg.BARRangeOf(i)
+		a := accel.New(fmt.Sprintf("%s.accel%d", n, i), eq, reg, acfg)
+		s.Accels = append(s.Accels, a)
+
+		mem.Bind(s.Tree.EP(i).BusPort(), s.DevBus.AddRequestorPort(fmt.Sprintf("ep%d", i)))
+		mem.Bind(a.DevDMAPort(), s.DevBus.AddRequestorPort(fmt.Sprintf("devdma%d", i)))
+		mem.Bind(s.DevBus.AddResponderPort(fmt.Sprintf("csr%d", i), cfg.BARRangeOf(i)), a.CSRPort())
+		mem.Bind(a.HostDMAPort(), s.Tree.EP(i).DevPort())
+	}
+	s.Accel = s.Accels[0]
+
+	s.hostFunc = hostFunc
+	return s
+}
+
+// AttachHostPort adds a requestor port on the memory bus for a
+// host-side agent (the kernel driver's MMIO path).
+func (s *System) AttachHostPort(name string) *mem.ResponsePort {
+	return s.Bus.AddRequestorPort(name)
+}
+
+// hostView is the coherent functional view of host memory: the LLC
+// chain provides the base contents and every upper cache overlays its
+// lines.
+type hostView struct{ s *System }
+
+// ReadFunctional implements mem.Functional.
+func (h hostView) ReadFunctional(addr uint64, buf []byte) {
+	h.s.LLC.ReadFunctional(addr, buf)
+	h.s.L1D.OverlayFunctional(addr, buf)
+	h.s.L1I.OverlayFunctional(addr, buf)
+	h.s.IOCache.OverlayFunctional(addr, buf)
+}
+
+// WriteFunctional implements mem.Functional.
+func (h hostView) WriteFunctional(addr uint64, data []byte) {
+	h.s.L1D.UpdateFunctional(addr, data)
+	h.s.L1I.UpdateFunctional(addr, data)
+	h.s.IOCache.UpdateFunctional(addr, data)
+	h.s.LLC.WriteFunctional(addr, data)
+}
+
+// FuncHost returns the coherent functional view of host memory used by
+// the driver and by tests.
+func (s *System) FuncHost() mem.Functional { return hostView{s} }
+
+// FuncDev returns the functional view of device memory.
+func (s *System) FuncDev() mem.Functional { return s.DevDRAM }
+
+// FlushCaches writes back and invalidates the whole cache hierarchy —
+// the driver-managed coherence step of the DM access method.
+func (s *System) FlushCaches() {
+	s.L1D.FlushAll()
+	s.L1I.FlushAll()
+	s.IOCache.FlushAll()
+	s.LLC.FlushAll()
+}
+
+// Run drains the event queue.
+func (s *System) Run() { s.EQ.Run() }
+
+// Now returns the current simulation time.
+func (s *System) Now() sim.Tick { return s.EQ.Now() }

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"accesys/internal/accel"
+	"accesys/internal/cpu"
+	"accesys/internal/driver"
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+)
+
+func randMat(rng *rand.Rand, n int) []int32 {
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = int32(rng.Intn(13) - 6)
+	}
+	return m
+}
+
+// buildWithDriver assembles a system plus its kernel driver.
+func buildWithDriver(t *testing.T, cfg Config) (*System, *driver.Driver) {
+	t.Helper()
+	sys := Build(cfg)
+	dcfg := driver.Config{
+		DMMode:     cfg.Access == DM,
+		DevMemMode: cfg.Access == DevMem,
+	}
+	drv := driver.New(sys.Cfg.Name+".driver", sys.EQ, sys.Stats, driver.Deps{
+		EQ:        sys.EQ,
+		MMIO:      sys.AttachHostPort("driver"),
+		FuncHost:  sys.FuncHost(),
+		FuncDev:   sys.FuncDev(),
+		SMMU:      sys.SMMU,
+		Accel:     sys.Accel,
+		BARBase:   BARBase,
+		HostRange: sys.Cfg.HostRange(),
+		DevRange:  sys.Cfg.DevRange(),
+		IOVABase:  IOVABase,
+		Flush:     sys.FlushCaches,
+	}, dcfg)
+	return sys, drv
+}
+
+// runGEMM launches one functional GEMM and returns the result.
+func runGEMM(t *testing.T, cfg Config, n int) (driver.Result, *System) {
+	t.Helper()
+	cfg.Functional = true
+	sys, drv := buildWithDriver(t, cfg)
+	rng := rand.New(rand.NewSource(42))
+	a := randMat(rng, n*n)
+	b := randMat(rng, n*n)
+
+	var res driver.Result
+	got := false
+	drv.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n, A: a, B: b}, func(r driver.Result) {
+		res = r
+		got = true
+	})
+	sys.Run()
+	if !got {
+		t.Fatalf("%s: GEMM did not complete", cfg.Name)
+	}
+
+	want := accel.MatMulRef(a, b, n, n, n)
+	for i := range want {
+		if res.C[i] != want[i] {
+			t.Fatalf("%s: C[%d] = %d, want %d", cfg.Name, i, res.C[i], want[i])
+		}
+	}
+	return res, sys
+}
+
+func TestGEMMThroughFullSystemDC(t *testing.T) {
+	res, sys := runGEMM(t, PCIe8GB(), 64)
+	if res.Job.Tiles != 16 {
+		t.Fatalf("tiles = %d, want 16", res.Job.Tiles)
+	}
+	// The DMA path must have used the SMMU: translations > 0.
+	if sys.Stats.Lookup("PCIe-8GB.smmu.translations").Value() == 0 {
+		t.Fatal("DC-mode DMA must translate through the SMMU")
+	}
+	// Footprint: 3 buffers of 64x64x4 = 16 KiB -> 4 pages each.
+	if res.PagesMapped != 12 {
+		t.Fatalf("pages mapped = %d, want 12", res.PagesMapped)
+	}
+	// The IOCache saw the traffic.
+	if sys.Stats.Lookup("PCIe-8GB.iocache.hits").Value()+
+		sys.Stats.Lookup("PCIe-8GB.iocache.misses").Value() == 0 {
+		t.Fatal("DC mode must route DMA through the IOCache")
+	}
+}
+
+func TestGEMMThroughFullSystemDM(t *testing.T) {
+	cfg := PCIe8GB()
+	cfg.Name = "dm"
+	cfg.Access = DM
+	res, sys := runGEMM(t, cfg, 64)
+	if res.C == nil {
+		t.Fatal("no result")
+	}
+	// DM traffic bypasses cache allocation.
+	if sys.Stats.Lookup("dm.iocache.bypasses").Value() == 0 {
+		t.Fatal("DM mode must bypass the IOCache")
+	}
+}
+
+func TestGEMMThroughFullSystemDevMem(t *testing.T) {
+	cfg := DevMemCfg()
+	cfg.Functional = true
+	res, sys := runGEMM(t, cfg, 64)
+	if res.C == nil {
+		t.Fatal("no result")
+	}
+	// DevMem mode: no SMMU translations for operand traffic (only the
+	// MSI write goes upstream, untranslated pages... the MSI write does
+	// translate; operand traffic must not dominate).
+	tr := sys.Stats.Lookup("DevMem.smmu.translations").Value()
+	if tr > 4 {
+		t.Fatalf("DevMem mode should barely touch the SMMU, translations=%v", tr)
+	}
+	// Device DRAM served the operands.
+	if sys.Stats.Lookup("DevMem.devmem.reads").Value() == 0 {
+		t.Fatal("DevMem mode must read from device DRAM")
+	}
+}
+
+func TestBandwidthOrderingAcrossConfigs(t *testing.T) {
+	// Timing-only GEMM at the three PCIe tiers: higher bandwidth,
+	// lower time (memory-bound region, paper Fig. 3 / Fig. 7).
+	dur := func(cfg Config) sim.Tick {
+		cfg.Functional = false
+		sys, drv := buildWithDriver(t, cfg)
+		var d sim.Tick
+		drv.RunGEMM(driver.GEMMSpec{M: 256, N: 256, K: 256}, func(r driver.Result) {
+			d = r.Job.Duration()
+		})
+		sys.Run()
+		if d == 0 {
+			t.Fatalf("%s: job did not run", cfg.Name)
+		}
+		return d
+	}
+	t2 := dur(PCIe2GB())
+	t8 := dur(PCIe8GB())
+	t64 := dur(PCIe64GB())
+	if !(t64 < t8 && t8 < t2) {
+		t.Fatalf("bandwidth ordering violated: 2GB=%v 8GB=%v 64GB=%v", t2, t8, t64)
+	}
+	if float64(t2)/float64(t8) < 1.5 {
+		t.Fatalf("2GB/s vs 8GB/s speedup only %.2f", float64(t2)/float64(t8))
+	}
+}
+
+func TestDevMemBeatsLowBandwidthPCIe(t *testing.T) {
+	// Paper Fig. 5: device-side memory outperforms host memory behind
+	// a slow link.
+	dur := func(cfg Config) sim.Tick {
+		sys, drv := buildWithDriver(t, cfg)
+		var d sim.Tick
+		drv.RunGEMM(driver.GEMMSpec{M: 256, N: 256, K: 256}, func(r driver.Result) {
+			d = r.Job.Duration()
+		})
+		sys.Run()
+		return d
+	}
+	slow := PCIe2GB()
+	tPCIe := dur(slow)
+	tDev := dur(DevMemCfg())
+	if tDev >= tPCIe {
+		t.Fatalf("DevMem (%v) should beat PCIe-2GB (%v)", tDev, tPCIe)
+	}
+}
+
+func TestCPUNUMAPenaltyOnDevMem(t *testing.T) {
+	// The paper's Fig. 8 mechanism: CPU operators touching device
+	// memory across PCIe are far slower than on host DRAM.
+	cfg := PCIe8GB()
+	cfg.Name = "numa"
+	sys, _ := buildWithDriver(t, cfg)
+
+	hostBuf := uint64(0x100000)
+	devBuf := DevMemBase + 0x10000
+
+	var tHost, tDev sim.Tick
+	start := sys.Now()
+	sys.CPU.Run([]cpu.Op{{Name: "near", ReadAddr: hostBuf, ReadBytes: 64 << 10}}, func() {
+		tHost = sys.Now() - start
+		mid := sys.Now()
+		sys.CPU.Run([]cpu.Op{{Name: "far", ReadAddr: devBuf, ReadBytes: 64 << 10}}, func() {
+			tDev = sys.Now() - mid
+		})
+	})
+	sys.Run()
+	if tHost == 0 || tDev == 0 {
+		t.Fatal("CPU ops did not run")
+	}
+	ratio := float64(tDev) / float64(tHost)
+	if ratio < 3 {
+		t.Fatalf("NUMA penalty ratio = %.1f, want >= 3 (host=%v dev=%v)", ratio, tHost, tDev)
+	}
+}
+
+func TestSimpleHostMemSweepHook(t *testing.T) {
+	// Fig. 6 substrate: host memory as fixed-latency/bandwidth model.
+	cfg := PCIe8GB()
+	cfg.Name = "simple"
+	cfg.Functional = true
+	cfg.HostSimple = &SimpleMemParams{Latency: 30 * sim.Nanosecond, BandwidthGBps: 50}
+	res, sys := runGEMM(t, cfg, 64)
+	if res.C == nil {
+		t.Fatal("no result")
+	}
+	if sys.HostSimple == nil || sys.HostDRAM != nil {
+		t.Fatal("HostSimple should replace the banked DRAM")
+	}
+}
+
+func TestComputeOverrideKnob(t *testing.T) {
+	// Fig. 2 substrate: the compute-time override must swing the job
+	// into the compute-bound region.
+	dur := func(override sim.Tick) sim.Tick {
+		cfg := PCIe8GB()
+		cfg.Name = "roofline"
+		cfg.Accel.ComputeOverride = override
+		sys, drv := buildWithDriver(t, cfg)
+		var d sim.Tick
+		drv.RunGEMM(driver.GEMMSpec{M: 128, N: 128, K: 128}, func(r driver.Result) {
+			d = r.Job.Duration()
+		})
+		sys.Run()
+		return d
+	}
+	fast := dur(10 * sim.Nanosecond)
+	slow := dur(5 * sim.Microsecond)
+	if float64(slow) < 2*float64(fast) {
+		t.Fatalf("compute override has no effect: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestTableIIDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.setDefaults()
+	if cfg.CPUClockMHz != 1000 {
+		t.Fatal("CPU clock default should be 1 GHz")
+	}
+	if cfg.L1DBytes != 64<<10 || cfg.L1IBytes != 32<<10 || cfg.LLCBytes != 2<<20 || cfg.IOCacheB != 32<<10 {
+		t.Fatal("cache sizes should match Table II")
+	}
+	if cfg.HostSpec.Name != "DDR3-1600" {
+		t.Fatalf("host memory default = %s, want DDR3-1600", cfg.HostSpec.Name)
+	}
+	if cfg.PCIe.Link.Lanes != 4 || cfg.PCIe.Link.LaneGbps != 4 {
+		t.Fatal("PCIe default should be 4 lanes x 4 Gbps")
+	}
+}
+
+func TestSequentialJobsSameSystem(t *testing.T) {
+	cfg := PCIe8GB()
+	cfg.Name = "seq"
+	cfg.Functional = true
+	sys, drv := buildWithDriver(t, cfg)
+	rng := rand.New(rand.NewSource(7))
+
+	n := 32
+	a1, b1 := randMat(rng, n*n), randMat(rng, n*n)
+	a2, b2 := randMat(rng, n*n), randMat(rng, n*n)
+	var r1, r2 driver.Result
+	drv.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n, A: a1, B: b1}, func(r driver.Result) {
+		r1 = r
+		drv.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n, A: a2, B: b2}, func(r driver.Result) {
+			r2 = r
+		})
+	})
+	sys.Run()
+	w1 := accel.MatMulRef(a1, b1, n, n, n)
+	w2 := accel.MatMulRef(a2, b2, n, n, n)
+	for i := range w1 {
+		if r1.C[i] != w1[i] {
+			t.Fatalf("job1 C[%d] wrong", i)
+		}
+		if r2.C[i] != w2[i] {
+			t.Fatalf("job2 C[%d] wrong", i)
+		}
+	}
+	if r2.Launched < r1.Completed {
+		t.Fatal("jobs must serialize")
+	}
+}
+
+// TestAcceleratorCluster exercises the paper's "accelerator cluster"
+// box: two MatrixFlow instances behind the switch, each with its own
+// endpoint, BAR, and driver, running concurrent functional GEMMs.
+// (The shared SMMU models a single translation stream, so the cluster
+// runs with physical addressing; per-stream SMMU contexts are future
+// work.)
+func TestAcceleratorCluster(t *testing.T) {
+	cfg := PCIe8GB()
+	cfg.Name = "cluster"
+	cfg.Functional = true
+	cfg.Accelerators = 2
+	cfg.SMMU.Bypass = true
+	sys := Build(cfg)
+
+	newDrv := func(i int, hostLo, hostHi uint64) *driver.Driver {
+		return driver.New(fmt.Sprintf("cluster.drv%d", i), sys.EQ, sys.Stats, driver.Deps{
+			EQ:        sys.EQ,
+			MMIO:      sys.AttachHostPort(fmt.Sprintf("drv%d", i)),
+			FuncHost:  sys.FuncHost(),
+			FuncDev:   sys.FuncDev(),
+			SMMU:      sys.SMMU,
+			Accel:     sys.Accels[i],
+			BARBase:   BARBase + uint64(i)*BARSize,
+			HostRange: mem.Range(hostLo, hostHi-hostLo),
+			DevRange:  sys.Cfg.DevRange(),
+			IOVABase:  IOVABase,
+		}, driver.Config{NoIOMMU: true})
+	}
+	d0 := newDrv(0, 0, 128<<20)
+	d1 := newDrv(1, 128<<20, 256<<20)
+
+	rng := rand.New(rand.NewSource(11))
+	n := 64
+	a0, b0 := randMat(rng, n*n), randMat(rng, n*n)
+	a1, b1 := randMat(rng, n*n), randMat(rng, n*n)
+
+	var r0, r1 driver.Result
+	d0.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n, A: a0, B: b0}, func(r driver.Result) { r0 = r })
+	d1.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n, A: a1, B: b1}, func(r driver.Result) { r1 = r })
+	sys.Run()
+
+	if r0.C == nil || r1.C == nil {
+		t.Fatal("cluster jobs did not complete")
+	}
+	w0 := accel.MatMulRef(a0, b0, n, n, n)
+	w1 := accel.MatMulRef(a1, b1, n, n, n)
+	for i := range w0 {
+		if r0.C[i] != w0[i] {
+			t.Fatalf("accel0 C[%d] wrong", i)
+		}
+		if r1.C[i] != w1[i] {
+			t.Fatalf("accel1 C[%d] wrong", i)
+		}
+	}
+	// True concurrency: the second job must not have waited for the
+	// first (both launched at tick 0).
+	if r1.Launched >= r0.Completed {
+		t.Fatal("cluster jobs serialized")
+	}
+	// And both endpoints carried traffic.
+	for i := 0; i < 2; i++ {
+		up := sys.Stats.Lookup(fmt.Sprintf("cluster.pcie.ep%d.tlps_up", i)).Value()
+		if up == 0 {
+			t.Fatalf("endpoint %d saw no traffic", i)
+		}
+	}
+}
+
+// TestClusterContention verifies the shared link is a real resource:
+// two concurrent jobs take longer than one, but less than two serial
+// ones.
+func TestClusterContention(t *testing.T) {
+	single := func() sim.Tick {
+		cfg := PCIe2GB()
+		cfg.Name = "single"
+		cfg.SMMU.Bypass = true
+		sys := Build(cfg)
+		drv := driver.New("single.drv", sys.EQ, sys.Stats, driver.Deps{
+			EQ: sys.EQ, MMIO: sys.AttachHostPort("drv"),
+			FuncHost: sys.FuncHost(), FuncDev: sys.FuncDev(),
+			SMMU: sys.SMMU, Accel: sys.Accel, BARBase: BARBase,
+			HostRange: sys.Cfg.HostRange(), DevRange: sys.Cfg.DevRange(),
+			IOVABase: IOVABase,
+		}, driver.Config{NoIOMMU: true})
+		var d sim.Tick
+		drv.RunGEMM(driver.GEMMSpec{M: 256, N: 256, K: 256}, func(r driver.Result) { d = r.Job.Duration() })
+		sys.Run()
+		return d
+	}()
+
+	cfg := PCIe2GB()
+	cfg.Name = "contend"
+	cfg.Accelerators = 2
+	cfg.SMMU.Bypass = true
+	sys := Build(cfg)
+	mk := func(i int, lo, hi uint64) *driver.Driver {
+		return driver.New(fmt.Sprintf("contend.drv%d", i), sys.EQ, sys.Stats, driver.Deps{
+			EQ: sys.EQ, MMIO: sys.AttachHostPort(fmt.Sprintf("drv%d", i)),
+			FuncHost: sys.FuncHost(), FuncDev: sys.FuncDev(),
+			SMMU: sys.SMMU, Accel: sys.Accels[i],
+			BARBase:   BARBase + uint64(i)*BARSize,
+			HostRange: mem.Range(lo, hi-lo), DevRange: sys.Cfg.DevRange(),
+			IOVABase: IOVABase,
+		}, driver.Config{NoIOMMU: true})
+	}
+	d0 := mk(0, 0, 128<<20)
+	d1 := mk(1, 128<<20, 256<<20)
+	var t0, t1 sim.Tick
+	d0.RunGEMM(driver.GEMMSpec{M: 256, N: 256, K: 256}, func(r driver.Result) { t0 = r.Job.Duration() })
+	d1.RunGEMM(driver.GEMMSpec{M: 256, N: 256, K: 256}, func(r driver.Result) { t1 = r.Job.Duration() })
+	sys.Run()
+
+	worst := t0
+	if t1 > worst {
+		worst = t1
+	}
+	if worst <= single+single/10 {
+		t.Fatalf("no contention visible: single=%v concurrent-worst=%v", single, worst)
+	}
+	if worst >= 2*single {
+		t.Fatalf("cluster fully serialized: single=%v concurrent-worst=%v", single, worst)
+	}
+}

@@ -1,0 +1,186 @@
+package dma
+
+import (
+	"bytes"
+	"testing"
+
+	"accesys/internal/mem"
+	"accesys/internal/memtest"
+	"accesys/internal/sim"
+	"accesys/internal/stats"
+)
+
+func newEngine(t *testing.T, cfg Config) (*sim.EventQueue, *Engine, *memtest.EchoResponder, *stats.Registry) {
+	t.Helper()
+	eq := sim.NewEventQueue()
+	reg := stats.NewRegistry()
+	e := New("dma", eq, reg, cfg)
+	m := memtest.NewEchoResponder(eq, 0, 1<<22, 20*sim.Nanosecond)
+	mem.Bind(e.Port(), m.Port)
+	return eq, e, m, reg
+}
+
+func TestReadGather(t *testing.T) {
+	eq, e, m, _ := newEngine(t, Config{BurstBytes: 64})
+	want := make([]byte, 1000)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	m.Store.Write(0x1000, want)
+	got := make([]byte, 1000)
+	done := false
+	e.Read(0, 0x1000, 1000, got, func() { done = true })
+	eq.Run()
+	if !done {
+		t.Fatal("completion callback not fired")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("gathered data mismatch")
+	}
+}
+
+func TestWriteScatter(t *testing.T) {
+	eq, e, m, _ := newEngine(t, Config{BurstBytes: 128})
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i ^ 0x3c)
+	}
+	done := false
+	e.Write(0, 0x2000, 1000, data, func() { done = true })
+	eq.Run()
+	if !done {
+		t.Fatal("write completion not fired")
+	}
+	got := make([]byte, 1000)
+	m.Store.Read(0x2000, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("scattered data mismatch")
+	}
+}
+
+func TestBurstSplitCount(t *testing.T) {
+	eq, e, m, reg := newEngine(t, Config{BurstBytes: 256})
+	e.Read(0, 0, 1024, nil, nil)
+	eq.Run()
+	if len(m.Requests) != 4 {
+		t.Fatalf("1024B at 256B bursts should be 4 requests, got %d", len(m.Requests))
+	}
+	if reg.Lookup("dma.bursts").Value() != 4 {
+		t.Fatalf("bursts stat = %v", reg.Lookup("dma.bursts").Value())
+	}
+}
+
+func TestPageBoundarySplit(t *testing.T) {
+	eq, e, m, _ := newEngine(t, Config{BurstBytes: 512, PageBytes: 4096})
+	// Transfer straddles a page boundary mid-burst.
+	e.Read(0, 4096-100, 512, nil, nil)
+	eq.Run()
+	if len(m.Requests) != 2 {
+		t.Fatalf("page-crossing burst should split in 2, got %d", len(m.Requests))
+	}
+	if m.Requests[0].Size != 100 || m.Requests[1].Size != 412 {
+		t.Fatalf("split sizes %d/%d, want 100/412", m.Requests[0].Size, m.Requests[1].Size)
+	}
+	for _, p := range m.Requests {
+		if p.Addr%4096+uint64(p.Size) > 4096 {
+			t.Fatal("burst crosses a page")
+		}
+	}
+}
+
+func TestWindowLimitsInflight(t *testing.T) {
+	// Refusing memory: all issued bursts stay queued in the reqQ.
+	eq := sim.NewEventQueue()
+	reg := stats.NewRegistry()
+	e := New("dma", eq, reg, Config{BurstBytes: 256, WindowBytes: 1024, Channels: 1})
+	m := memtest.NewEchoResponder(eq, 0, 1<<22, 20*sim.Nanosecond)
+	m.RefuseRequests = true
+	mem.Bind(e.Port(), m.Port)
+
+	e.Read(0, 0, 1<<16, nil, nil)
+	eq.Run()
+	// Window 1024 / burst 256 = 4 in flight maximum.
+	if got := reg.Lookup("dma.bursts").Value(); got != 4 {
+		t.Fatalf("in-flight bursts = %v, want window-limited 4", got)
+	}
+	m.ReleaseRequests()
+	eq.Run()
+	if got := reg.Lookup("dma.bursts").Value(); got != 256 {
+		t.Fatalf("total bursts = %v, want 256", got)
+	}
+}
+
+func TestChannelsProgressIndependently(t *testing.T) {
+	eq, e, _, _ := newEngine(t, Config{BurstBytes: 256, Channels: 2})
+	var order []int
+	e.Read(0, 0, 64<<10, nil, func() { order = append(order, 0) })
+	e.Read(1, 1<<20, 256, nil, func() { order = append(order, 1) })
+	eq.Run()
+	if len(order) != 2 {
+		t.Fatal("both transfers must complete")
+	}
+	// The tiny transfer on channel 1 must not wait for channel 0's
+	// large transfer.
+	if order[0] != 1 {
+		t.Fatal("channel 1's small transfer should finish first")
+	}
+}
+
+func TestSameChannelFIFO(t *testing.T) {
+	eq, e, _, _ := newEngine(t, Config{BurstBytes: 256, Channels: 1})
+	var order []int
+	e.Read(0, 0, 4096, nil, func() { order = append(order, 0) })
+	e.Read(0, 8192, 256, nil, func() { order = append(order, 1) })
+	eq.Run()
+	if order[0] != 0 || order[1] != 1 {
+		t.Fatalf("same-channel transfers must be FIFO: %v", order)
+	}
+}
+
+func TestUncacheableFlag(t *testing.T) {
+	eq, e, m, _ := newEngine(t, Config{Uncacheable: true})
+	e.Read(0, 0, 256, nil, nil)
+	eq.Run()
+	for _, p := range m.Requests {
+		if !p.Uncacheable {
+			t.Fatal("packets must carry the uncacheable flag")
+		}
+	}
+}
+
+func TestOversizeBurstPanics(t *testing.T) {
+	eq := sim.NewEventQueue()
+	reg := stats.NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("burst > page must panic")
+		}
+	}()
+	New("dma", eq, reg, Config{BurstBytes: 8192, PageBytes: 4096})
+}
+
+func TestStats(t *testing.T) {
+	eq, e, _, reg := newEngine(t, Config{BurstBytes: 256})
+	e.Read(0, 0, 1024, nil, nil)
+	e.Write(1, 4096, 512, nil, nil)
+	eq.Run()
+	if reg.Lookup("dma.bytes_read").Value() != 1024 {
+		t.Fatalf("bytes_read = %v", reg.Lookup("dma.bytes_read").Value())
+	}
+	if reg.Lookup("dma.bytes_written").Value() != 512 {
+		t.Fatalf("bytes_written = %v", reg.Lookup("dma.bytes_written").Value())
+	}
+	if reg.Lookup("dma.descriptors").Value() != 2 {
+		t.Fatalf("descriptors = %v", reg.Lookup("dma.descriptors").Value())
+	}
+}
+
+func TestStartLatencyApplied(t *testing.T) {
+	eq, e, _, _ := newEngine(t, Config{BurstBytes: 256, StartLatency: 100 * sim.Nanosecond})
+	var doneAt sim.Tick
+	e.Read(0, 0, 64, nil, func() { doneAt = eq.Now() })
+	eq.Run()
+	if doneAt < 120*sim.Nanosecond {
+		t.Fatalf("completion at %v, want >= start latency + memory", doneAt)
+	}
+}

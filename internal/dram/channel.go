@@ -1,0 +1,184 @@
+package dram
+
+import (
+	"accesys/internal/sim"
+)
+
+// bank tracks one bank's row-buffer state machine via next-allowed
+// ticks for each command class, the standard request-level DRAM
+// modeling technique (gem5's MemCtrl, DRAMsim's bank states).
+type bank struct {
+	rowOpen bool
+	row     uint64
+
+	actReady sim.Tick // earliest next ACT
+	colReady sim.Tick // earliest next column command
+	preReady sim.Tick // earliest next PRE
+}
+
+// channel models one DRAM channel: banks, the shared data bus, the
+// activation window, and FR-FCFS scheduling state.
+type channel struct {
+	spec Spec
+
+	banks []bank
+
+	busFree    sim.Tick
+	lastIsWr   bool
+	actWindow  []sim.Tick // recent ACT times for tFAW (ring of 4)
+	lastAct    sim.Tick   // for tRRD
+	nextRefill sim.Tick   // next refresh due
+
+	// Stats accumulated by the owning controller.
+	rowHits   uint64
+	rowMisses uint64
+	refreshes uint64
+}
+
+func newChannel(spec Spec) *channel {
+	return &channel{
+		spec:       spec,
+		banks:      make([]bank, spec.BanksPerChannel()),
+		actWindow:  make([]sim.Tick, 0, 4),
+		nextRefill: spec.Cycles(spec.REFI),
+	}
+}
+
+// coord is the decomposed location of an access within a channel.
+type coord struct {
+	bank int
+	row  uint64
+}
+
+// decompose maps a channel-local byte address to bank/row coordinates.
+// Mapping: row : bank : row-offset — consecutive rows rotate across
+// banks so streaming accesses exploit bank parallelism.
+func (c *channel) decompose(addr uint64) coord {
+	rowID := addr / c.spec.RowBytes
+	nb := uint64(len(c.banks))
+	return coord{
+		bank: int(rowID % nb),
+		row:  rowID / nb,
+	}
+}
+
+// applyRefresh folds due refreshes into bank availability. Refresh
+// closes every row and blocks all banks for tRFC.
+func (c *channel) applyRefresh(now sim.Tick) {
+	for now >= c.nextRefill {
+		end := c.nextRefill + c.spec.Cycles(c.spec.RFC)
+		for i := range c.banks {
+			b := &c.banks[i]
+			b.rowOpen = false
+			if b.actReady < end {
+				b.actReady = end
+			}
+		}
+		c.refreshes++
+		c.nextRefill += c.spec.Cycles(c.spec.REFI)
+	}
+}
+
+// rowHit reports whether the access would hit the open row.
+func (c *channel) rowHit(co coord) bool {
+	b := &c.banks[co.bank]
+	return b.rowOpen && b.row == co.row
+}
+
+// maxTick returns the latest of its arguments.
+func maxTick(ts ...sim.Tick) sim.Tick {
+	var m sim.Tick
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// fawConstraint returns the earliest tick a new ACT may issue under the
+// four-activate window.
+func (c *channel) fawConstraint() sim.Tick {
+	if len(c.actWindow) < 4 {
+		return 0
+	}
+	return c.actWindow[len(c.actWindow)-4] + c.spec.Cycles(c.spec.FAW)
+}
+
+func (c *channel) recordAct(t sim.Tick) {
+	c.actWindow = append(c.actWindow, t)
+	if len(c.actWindow) > 8 {
+		c.actWindow = c.actWindow[len(c.actWindow)-4:]
+	}
+	c.lastAct = t
+}
+
+// access issues one request (read or write of nBursts bursts) at the
+// earliest legal time at or after now, updates all state, and returns
+// the tick at which its data transfer completes.
+func (c *channel) access(now sim.Tick, co coord, isWrite bool, nBursts int) sim.Tick {
+	c.applyRefresh(now)
+	s := c.spec
+	b := &c.banks[co.bank]
+
+	var col sim.Tick // column command issue time
+	switch {
+	case c.rowHit(co):
+		c.rowHits++
+		col = maxTick(now, b.colReady)
+	case b.rowOpen: // conflict: PRE + ACT + column
+		c.rowMisses++
+		pre := maxTick(now, b.preReady)
+		act := maxTick(pre+s.Cycles(s.RP), b.actReady, c.fawConstraint(), c.lastAct+s.Cycles(s.RRD))
+		c.recordAct(act)
+		b.actReady = act + s.Cycles(s.RC)
+		b.preReady = act + s.Cycles(s.RAS)
+		col = act + s.Cycles(s.RCD)
+	default: // closed: ACT + column
+		c.rowMisses++
+		act := maxTick(now, b.actReady, c.fawConstraint(), c.lastAct+s.Cycles(s.RRD))
+		c.recordAct(act)
+		b.actReady = act + s.Cycles(s.RC)
+		b.preReady = act + s.Cycles(s.RAS)
+		col = act + s.Cycles(s.RCD)
+	}
+	b.rowOpen = true
+	b.row = co.row
+
+	// Column-to-data latency and the shared data bus. A read/write
+	// turnaround penalty applies when direction flips.
+	lat := s.Cycles(s.CL)
+	if isWrite {
+		lat = s.Cycles(s.CWL)
+	}
+	busAvail := c.busFree
+	if c.lastIsWr != isWrite && c.busFree > 0 {
+		if isWrite {
+			busAvail += s.Cycles(s.RTW)
+		} else {
+			busAvail += s.Cycles(s.WTR)
+		}
+	}
+	dataStart := maxTick(col+lat, busAvail)
+	// Back-shift the column command so data aligns with the bus slot.
+	col = dataStart - lat
+
+	burst := s.BurstTicks()
+	dataEnd := dataStart + sim.Tick(nBursts)*burst
+
+	b.colReady = col + s.Cycles(s.CCD)*sim.Tick(nBursts)
+	if isWrite {
+		wrRecov := dataEnd + s.Cycles(s.WR)
+		if wrRecov > b.preReady {
+			b.preReady = wrRecov
+		}
+	} else {
+		rtp := col + s.Cycles(s.RTP)
+		if rtp > b.preReady {
+			b.preReady = rtp
+		}
+	}
+	c.busFree = dataEnd
+	c.lastIsWr = isWrite
+	return dataEnd
+}

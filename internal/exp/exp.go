@@ -1,0 +1,168 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section V): each experiment builds full systems, runs
+// the sweep, and emits the same rows/series the paper reports, plus a
+// shape check verifying the qualitative claim (who wins, where the
+// knees/crossovers fall).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"accesys/internal/core"
+	"accesys/internal/driver"
+	"accesys/internal/sim"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Full runs paper-scale matrix sizes (2048); otherwise reduced
+	// sizes keep runtimes interactive.
+	Full bool
+	// Verbose streams per-run progress lines to Out.
+	Verbose bool
+	// Out receives progress output (default: discard).
+	Out io.Writer
+}
+
+func (o Options) size(quick, full int) int {
+	if o.Full {
+		return full
+	}
+	return quick
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Verbose && o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// Result is one regenerated table/figure.
+type Result struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a free-text note (shape checks, caveats).
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the result as an aligned text table.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Headers)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  # %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// BuildSystem assembles a system together with its kernel driver, the
+// standard front door for examples and experiments.
+func BuildSystem(cfg core.Config) (*core.System, *driver.Driver) {
+	sys := core.Build(cfg)
+	dcfg := driver.Config{
+		DMMode:     sys.Cfg.Access == core.DM,
+		DevMemMode: sys.Cfg.Access == core.DevMem,
+		NoIOMMU:    sys.Cfg.SMMU.Bypass,
+	}
+	drv := driver.New(sys.Cfg.Name+".driver", sys.EQ, sys.Stats, driver.Deps{
+		EQ:        sys.EQ,
+		MMIO:      sys.AttachHostPort("driver"),
+		FuncHost:  sys.FuncHost(),
+		FuncDev:   sys.FuncDev(),
+		SMMU:      sys.SMMU,
+		Accel:     sys.Accel,
+		BARBase:   core.BARBase,
+		HostRange: sys.Cfg.HostRange(),
+		DevRange:  sys.Cfg.DevRange(),
+		IOVABase:  core.IOVABase,
+		Flush:     sys.FlushCaches,
+	}, dcfg)
+	return sys, drv
+}
+
+// timeGEMM builds the config, runs one timing-only n^3 GEMM, and
+// returns the accelerator-visible duration plus the system for stats
+// inspection.
+func timeGEMM(cfg core.Config, n int) (sim.Tick, *core.System, driver.Result) {
+	sys, drv := BuildSystem(cfg)
+	var res driver.Result
+	drv.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n}, func(r driver.Result) { res = r })
+	sys.Run()
+	if res.Completed == 0 {
+		panic(fmt.Sprintf("exp: GEMM under %s never completed", cfg.Name))
+	}
+	return res.Job.Duration(), sys, res
+}
+
+// All runs every experiment in paper order.
+func All(opt Options) []*Result {
+	return []*Result{
+		Fig2Roofline(opt),
+		Fig3BandwidthSweep(opt),
+		Fig4PacketSize(opt),
+		Fig5MemoryLocation(opt),
+		Fig6MemSweep(opt),
+		Tab4Translation(opt),
+		Fig7Transformer(opt),
+		Fig8Split(opt),
+		Fig9Model(opt),
+	}
+}
+
+// ByID resolves an experiment by its identifier.
+func ByID(id string) (func(Options) *Result, bool) {
+	m := map[string]func(Options) *Result{
+		"fig2": Fig2Roofline,
+		"fig3": Fig3BandwidthSweep,
+		"fig4": Fig4PacketSize,
+		"fig5": Fig5MemoryLocation,
+		"fig6": Fig6MemSweep,
+		"tab4": Tab4Translation,
+		"fig7": Fig7Transformer,
+		"fig8": Fig8Split,
+		"fig9": Fig9Model,
+	}
+	f, ok := m[id]
+	return f, ok
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "tab4", "fig7", "fig8", "fig9"}
+}

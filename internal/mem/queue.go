@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"accesys/internal/sim"
+)
+
+// PacketQueue drives packets out of a port in tick order while honoring
+// the retry protocol, like gem5's PacketQueue/QueuedPort. The owner
+// schedules packets with a readiness tick (folding its internal
+// latency into the queue); the queue sends them in order, blocks when
+// the peer refuses, and resumes when the owner forwards the retry
+// signal via RetryReceived.
+type PacketQueue struct {
+	eq      *sim.EventQueue
+	send    func(*Packet) bool
+	entries []queuedPacket
+	event   *sim.Event
+	blocked bool
+
+	// OnDrain, when non-nil, runs after each successful send. Owners
+	// use it to wake requestors that were refused for lack of space.
+	OnDrain func()
+}
+
+type queuedPacket struct {
+	pkt   *Packet
+	ready sim.Tick
+}
+
+// NewPacketQueue builds a queue that emits packets through send, which
+// is typically port.SendTimingReq or port.SendTimingResp.
+func NewPacketQueue(name string, eq *sim.EventQueue, send func(*Packet) bool) *PacketQueue {
+	q := &PacketQueue{eq: eq, send: send}
+	q.event = eq.NewEvent(name+".send", q.trySend)
+	return q
+}
+
+// Len reports the number of packets waiting to be sent.
+func (q *PacketQueue) Len() int { return len(q.entries) }
+
+// Empty reports whether nothing is queued.
+func (q *PacketQueue) Empty() bool { return len(q.entries) == 0 }
+
+// NextReady returns the readiness tick of the head packet, or MaxTick
+// when empty.
+func (q *PacketQueue) NextReady() sim.Tick {
+	if len(q.entries) == 0 {
+		return sim.MaxTick
+	}
+	return q.entries[0].ready
+}
+
+// Schedule enqueues pkt to be sent no earlier than when. Packets keep
+// FIFO order among equal readiness ticks; a packet scheduled earlier
+// than queued predecessors is inserted in tick order (ordered
+// insertion, matching gem5's insert-sorted packet queue).
+func (q *PacketQueue) Schedule(pkt *Packet, when sim.Tick) {
+	if when < q.eq.Now() {
+		when = q.eq.Now()
+	}
+	i := len(q.entries)
+	for i > 0 && q.entries[i-1].ready > when {
+		i--
+	}
+	q.entries = append(q.entries, queuedPacket{})
+	copy(q.entries[i+1:], q.entries[i:])
+	q.entries[i] = queuedPacket{pkt: pkt, ready: when}
+	q.arm()
+}
+
+func (q *PacketQueue) arm() {
+	if q.blocked || len(q.entries) == 0 {
+		return
+	}
+	ready := q.entries[0].ready
+	// arm can run reentrantly (a send chain scheduling back into this
+	// queue) while the head still awaits its pop; never arm in the past.
+	if now := q.eq.Now(); ready < now {
+		ready = now
+	}
+	if q.event.Pending() {
+		if q.event.When() <= ready {
+			return
+		}
+		q.eq.Deschedule(q.event)
+	}
+	q.eq.ScheduleEvent(q.event, ready, sim.PriorityDefault)
+}
+
+func (q *PacketQueue) trySend() {
+	for len(q.entries) > 0 && !q.blocked {
+		head := q.entries[0]
+		if head.ready > q.eq.Now() {
+			q.arm()
+			return
+		}
+		if !q.send(head.pkt) {
+			q.blocked = true
+			return
+		}
+		q.entries = q.entries[1:]
+		if q.OnDrain != nil {
+			q.OnDrain()
+		}
+	}
+}
+
+// RetryReceived must be called by the owner when the peer signals a
+// retry (RecvRetryReq / RecvRetryResp for this queue's port).
+func (q *PacketQueue) RetryReceived() {
+	if !q.blocked {
+		return
+	}
+	q.blocked = false
+	if len(q.entries) > 0 {
+		q.eq.Reschedule(q.event, q.eq.Now())
+	}
+}
+
+// Blocked reports whether the queue is stalled waiting for a retry.
+func (q *PacketQueue) Blocked() bool { return q.blocked }

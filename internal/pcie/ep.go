@@ -1,0 +1,162 @@
+package pcie
+
+import (
+	"fmt"
+
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+	"accesys/internal/stats"
+)
+
+// Endpoint is the device-side PCIe bridge inside the accelerator
+// wrapper. The device (DMA engine, controller) drives DevPort with
+// requests aimed at host memory; host-initiated TLPs (MMIO to CSRs,
+// DevMem window accesses) leave through BusPort into the device's
+// internal interconnect.
+type Endpoint struct {
+	name string
+	idx  int
+	eq   *sim.EventQueue
+	cfg  Config
+
+	devPort *mem.ResponsePort // from device internals (DMA)
+	busPort *mem.RequestPort  // to device internals (CSRs, DevMem)
+
+	devRespQ *mem.PacketQueue // completions back to the device
+	busReqQ  *mem.PacketQueue // unwrapped host requests into the device
+
+	up *conn // EP -> switch; set at tree construction
+
+	procFree     sim.Tick
+	devNeedRetry bool
+
+	ranges []mem.AddrRange
+
+	tlpsUp   *stats.Counter
+	tlpsDown *stats.Counter
+	bytesUp  *stats.Counter
+}
+
+func newEndpoint(name string, idx int, eq *sim.EventQueue, reg *stats.Registry, cfg Config, ranges []mem.AddrRange) *Endpoint {
+	ep := &Endpoint{name: name, idx: idx, eq: eq, cfg: cfg, ranges: ranges}
+	ep.devPort = mem.NewResponsePort(name+".dev", ep)
+	ep.busPort = mem.NewRequestPort(name+".bus", ep)
+	ep.devRespQ = mem.NewPacketQueue(name+".devrespq", eq, func(p *mem.Packet) bool {
+		return ep.devPort.SendTimingResp(p)
+	})
+	ep.busReqQ = mem.NewPacketQueue(name+".busreqq", eq, func(p *mem.Packet) bool {
+		return ep.busPort.SendTimingReq(p)
+	})
+	g := reg.Group(name)
+	ep.tlpsUp = g.Counter("tlps_up", "TLPs sent upstream")
+	ep.tlpsDown = g.Counter("tlps_down", "TLPs received downstream")
+	ep.bytesUp = g.Counter("bytes_up", "TLP bytes sent upstream")
+	return ep
+}
+
+// DevPort is driven by the device's DMA engine and controller for
+// host-bound traffic.
+func (ep *Endpoint) DevPort() *mem.ResponsePort { return ep.devPort }
+
+// BusPort drives host-initiated requests into the device internals.
+func (ep *Endpoint) BusPort() *mem.RequestPort { return ep.busPort }
+
+// Ranges returns the address windows (BARs, DevMem aperture) this
+// endpoint claims on the fabric.
+func (ep *Endpoint) Ranges() []mem.AddrRange { return ep.ranges }
+
+func (ep *Endpoint) procDelay() sim.Tick {
+	start := ep.eq.Now()
+	if ep.procFree > start {
+		start = ep.procFree
+	}
+	ep.procFree = start + ep.cfg.EPProcII
+	return start + ep.cfg.EPLatency
+}
+
+// RecvTimingReq implements mem.Responder: device-initiated (DMA)
+// request toward host memory.
+func (ep *Endpoint) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool {
+	if ep.up.queued() >= ep.cfg.TxQueueDepth {
+		ep.devNeedRetry = true
+		return false
+	}
+
+	var t *TLP
+	switch pkt.Cmd {
+	case mem.ReadReq:
+		t = &TLP{Kind: MemRd, Pkt: pkt, Bytes: ep.cfg.TLPHeaderBytes, SrcEP: ep.idx}
+	case mem.WriteReq:
+		clone := cloneWrite(pkt)
+		clone.PushState(postedClone{})
+		t = &TLP{Kind: MemWr, Pkt: clone, Bytes: ep.cfg.TLPHeaderBytes + pkt.Size, SrcEP: ep.idx}
+		pkt.MakeResponse()
+		ep.devRespQ.Schedule(pkt, ep.eq.Now()+ep.cfg.EPLatency)
+	default:
+		panic(fmt.Sprintf("pcie: %s unexpected device command %v", ep.name, pkt.Cmd))
+	}
+
+	at := ep.procDelay()
+	ep.tlpsUp.Inc()
+	ep.bytesUp.Add(uint64(t.Bytes))
+	ep.eq.Schedule(func() { ep.up.send(t) }, at)
+	return true
+}
+
+// deliverTLP implements receiver: downstream traffic from the switch.
+func (ep *Endpoint) deliverTLP(from *conn, t *TLP) {
+	ep.tlpsDown.Inc()
+	at := ep.procDelay()
+	ep.eq.Schedule(func() {
+		from.release(t)
+		switch t.Kind {
+		case Cpl:
+			// Completion of a device DMA read.
+			ep.devRespQ.Schedule(t.Pkt, ep.eq.Now())
+		case MemRd, MemWr:
+			// Host-initiated access into the device.
+			ep.busReqQ.Schedule(t.Pkt, ep.eq.Now())
+		}
+	}, at)
+}
+
+// RecvTimingResp implements mem.Requestor: the device internals
+// answered a host-initiated request; send the completion upstream
+// (posted-write responses are dropped).
+func (ep *Endpoint) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
+	if pkt.Cmd == mem.WriteResp {
+		// Writes travelling downstream are posted clones; their marker
+		// is still stacked. Discard.
+		pkt.PopState()
+		return true
+	}
+	t := &TLP{
+		Kind:  Cpl,
+		Pkt:   pkt,
+		Bytes: ep.cfg.TLPHeaderBytes + pkt.Size,
+		SrcEP: ep.idx,
+	}
+	at := ep.procDelay()
+	ep.tlpsUp.Inc()
+	ep.bytesUp.Add(uint64(t.Bytes))
+	ep.eq.Schedule(func() { ep.up.send(t) }, at)
+	return true
+}
+
+// RecvRetryReq implements mem.Requestor.
+func (ep *Endpoint) RecvRetryReq(port *mem.RequestPort) { ep.busReqQ.RetryReceived() }
+
+// RecvRetryResp implements mem.Responder.
+func (ep *Endpoint) RecvRetryResp(port *mem.ResponsePort) { ep.devRespQ.RetryReceived() }
+
+func (ep *Endpoint) wakeDev() {
+	if !ep.devNeedRetry {
+		return
+	}
+	ep.devNeedRetry = false
+	ep.devPort.SendRetryReq()
+}
+
+var _ mem.Requestor = (*Endpoint)(nil)
+var _ mem.Responder = (*Endpoint)(nil)
+var _ receiver = (*Endpoint)(nil)

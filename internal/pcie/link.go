@@ -1,0 +1,204 @@
+// Package pcie models the standard PCIe interconnect that
+// Gem5-AcceSys adds to gem5: a Root Complex (RC), a Switch, and
+// Endpoints (EPs) joined by links with configurable lane count and
+// per-lane rate. Transactions travel as TLPs with header/framing
+// overhead, store-and-forward per hop, per-hop processing latency and
+// initiation interval, and credit-based receiver buffers — together
+// these produce the paper's observed behaviours: bandwidth scaling
+// with lanes x rate (Fig. 3) and the convex packet-size curve where
+// small packets pay header/processing overhead and large packets stall
+// the hop pipeline (Fig. 4).
+package pcie
+
+import (
+	"fmt"
+
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+)
+
+// LinkConfig describes one PCIe link (both directions symmetric).
+type LinkConfig struct {
+	Lanes    int
+	LaneGbps float64
+	// PropDelay is the flight latency of the wire (default 5 ns).
+	PropDelay sim.Tick
+}
+
+// EncodingEfficiency returns the line-coding efficiency: 8b/10b for
+// gen1/2 rates (<= 5 GT/s), 128b/130b above.
+func (l LinkConfig) EncodingEfficiency() float64 {
+	if l.LaneGbps <= 5 {
+		return 0.8
+	}
+	return 128.0 / 130.0
+}
+
+// RawGBps returns lanes x rate in gigabytes per second before coding.
+func (l LinkConfig) RawGBps() float64 {
+	return float64(l.Lanes) * l.LaneGbps / 8
+}
+
+// EffectiveGBps returns the post-encoding data bandwidth.
+func (l LinkConfig) EffectiveGBps() float64 {
+	return l.RawGBps() * l.EncodingEfficiency()
+}
+
+// SerTime returns the time to serialize n bytes onto the link.
+func (l LinkConfig) SerTime(n int) sim.Tick {
+	gbps := l.EffectiveGBps()
+	if gbps <= 0 {
+		panic("pcie: link has zero bandwidth")
+	}
+	return sim.Tick(float64(n)*1000/gbps + 0.5)
+}
+
+// LinkForGBps builds a link totaling the given raw bandwidth out of a
+// given lane count (paper configs: 2 GB/s = 4x4Gbps, 8 GB/s = 8x8Gbps,
+// 64 GB/s = 16x32Gbps).
+func LinkForGBps(gbps float64, lanes int) LinkConfig {
+	return LinkConfig{Lanes: lanes, LaneGbps: gbps * 8 / float64(lanes), PropDelay: 5 * sim.Nanosecond}
+}
+
+// TLPKind enumerates transaction-layer packet kinds.
+type TLPKind uint8
+
+// TLP kinds: memory read request (header only), memory write request
+// (posted, carries payload), completion with data.
+const (
+	MemRd TLPKind = iota
+	MemWr
+	Cpl
+)
+
+// String implements fmt.Stringer.
+func (k TLPKind) String() string {
+	switch k {
+	case MemRd:
+		return "MemRd"
+	case MemWr:
+		return "MemWr"
+	default:
+		return "Cpl"
+	}
+}
+
+// TLP is a transaction-layer packet in flight on the fabric.
+type TLP struct {
+	Kind  TLPKind
+	Pkt   *mem.Packet
+	Bytes int // wire size: header + payload
+	SrcEP int // originating endpoint (upstream traffic)
+	DstEP int // destination endpoint (downstream completions)
+
+	onTxDone func() // releases the previous hop's buffer credit
+}
+
+// receiver consumes TLPs delivered by a conn.
+type receiver interface {
+	deliverTLP(c *conn, t *TLP)
+}
+
+// conn is one simplex link channel with credit-gated, serialized
+// transmission. The receiver's buffer credit is consumed when a TLP
+// starts transmitting and must be released by the receiving hop once
+// the TLP has fully left it (store-and-forward back-pressure).
+type conn struct {
+	name string
+	eq   *sim.EventQueue
+	link LinkConfig
+	dst  receiver
+
+	// cutThroughHdr, when nonzero, delivers the TLP to the receiver
+	// once that many bytes have serialized (cut-through) instead of
+	// after the full TLP (store-and-forward).
+	cutThroughHdr int
+
+	capacity int // receiver buffer size in bytes
+	credit   int
+	claims   map[*TLP]int // credit held per in-flight TLP on this conn
+
+	q      []*TLP
+	txBusy bool
+
+	// OnDrain fires after each TLP begins transmission (queue slot
+	// freed); admission layers use it to wake refused senders.
+	OnDrain func()
+
+	// Stalls counts credit stalls for statistics.
+	Stalls uint64
+}
+
+func newConn(name string, eq *sim.EventQueue, link LinkConfig, dst receiver, bufBytes int) *conn {
+	if link.PropDelay == 0 {
+		link.PropDelay = 5 * sim.Nanosecond
+	}
+	return &conn{name: name, eq: eq, link: link, dst: dst,
+		capacity: bufBytes, credit: bufBytes, claims: make(map[*TLP]int)}
+}
+
+// send enqueues a TLP for transmission.
+func (c *conn) send(t *TLP) {
+	c.q = append(c.q, t)
+	c.kick()
+}
+
+// queued reports TLPs waiting to start transmission.
+func (c *conn) queued() int { return len(c.q) }
+
+func (c *conn) kick() {
+	if c.txBusy || len(c.q) == 0 {
+		return
+	}
+	t := c.q[0]
+	// Oversize TLPs (bigger than the receiver buffer) claim the whole
+	// buffer rather than deadlocking.
+	need := t.Bytes
+	if need > c.capacity {
+		need = c.capacity
+	}
+	if c.credit < need {
+		c.Stalls++
+		return // resumed by release()
+	}
+	c.credit -= need
+	c.claims[t] = need
+	c.q = c.q[1:]
+	c.txBusy = true
+
+	ser := c.link.SerTime(t.Bytes)
+	// Consume the callback now: with cut-through delivery the next hop
+	// may install its own onTxDone before this transmission finishes.
+	done := t.onTxDone
+	t.onTxDone = nil
+	c.eq.ScheduleAfter(func() {
+		c.txBusy = false
+		if done != nil {
+			done()
+		}
+		if c.OnDrain != nil {
+			c.OnDrain()
+		}
+		c.kick()
+	}, ser)
+	deliverAt := ser
+	if c.cutThroughHdr > 0 && t.Bytes > c.cutThroughHdr {
+		deliverAt = c.link.SerTime(c.cutThroughHdr)
+	}
+	c.eq.ScheduleAfter(func() { c.dst.deliverTLP(c, t) }, deliverAt+c.link.PropDelay)
+}
+
+// release returns buffer credit after a TLP fully leaves the receiving
+// hop.
+func (c *conn) release(t *TLP) {
+	claimed, ok := c.claims[t]
+	if !ok {
+		panic(fmt.Sprintf("pcie: %s releasing unclaimed TLP", c.name))
+	}
+	delete(c.claims, t)
+	c.credit += claimed
+	if c.credit > c.capacity {
+		panic(fmt.Sprintf("pcie: %s credit overflow (%d > %d)", c.name, c.credit, c.capacity))
+	}
+	c.kick()
+}

@@ -1,0 +1,85 @@
+package pcie
+
+import (
+	"fmt"
+
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+	"accesys/internal/stats"
+)
+
+// Switch routes TLPs between the root complex and the endpoints. It is
+// store-and-forward: a TLP is processed (fixed latency + initiation
+// interval) only after full reception, and the ingress buffer credit is
+// held until the TLP has completely left on the egress link.
+type Switch struct {
+	name string
+	eq   *sim.EventQueue
+	cfg  Config
+
+	// Egress conns, set during tree construction.
+	up    *conn   // switch -> RC
+	downs []*conn // switch -> EP[i]
+	// fromRC identifies the ingress conn carrying RC -> switch traffic
+	// so direction can be told apart.
+	fromRC *conn
+
+	addrMap mem.AddrMap // downstream request routing by address
+
+	upProcFree   sim.Tick
+	downProcFree sim.Tick
+
+	forwarded *stats.Counter
+	bytes     *stats.Counter
+}
+
+func newSwitch(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config) *Switch {
+	s := &Switch{name: name, eq: eq, cfg: cfg}
+	g := reg.Group(name)
+	s.forwarded = g.Counter("tlps", "TLPs forwarded")
+	s.bytes = g.Counter("bytes", "TLP bytes forwarded")
+	return s
+}
+
+// deliverTLP implements receiver: a fully received TLP enters the
+// processing pipeline and is forwarded after SwitchLatency; the
+// pipeline accepts one TLP per SwitchProcII per direction.
+func (s *Switch) deliverTLP(from *conn, t *TLP) {
+	now := s.eq.Now()
+	upstream := from != s.fromRC
+
+	procFree := &s.downProcFree
+	if upstream {
+		procFree = &s.upProcFree
+	}
+	start := now
+	if *procFree > start {
+		start = *procFree
+	}
+	*procFree = start + s.cfg.SwitchProcII
+
+	s.forwarded.Inc()
+	s.bytes.Add(uint64(t.Bytes))
+
+	s.eq.Schedule(func() {
+		out := s.route(t, upstream)
+		t.onTxDone = func() { from.release(t) }
+		out.send(t)
+	}, start+s.cfg.SwitchLatency)
+}
+
+func (s *Switch) route(t *TLP, upstream bool) *conn {
+	if upstream {
+		return s.up
+	}
+	if t.Kind == Cpl {
+		return s.downs[t.DstEP]
+	}
+	target, ok := s.addrMap.Find(t.Pkt.Addr)
+	if !ok {
+		panic(fmt.Sprintf("pcie: %s: no endpoint claims %v", s.name, t.Pkt))
+	}
+	return s.downs[target]
+}
+
+var _ receiver = (*Switch)(nil)

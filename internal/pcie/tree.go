@@ -1,0 +1,141 @@
+package pcie
+
+import (
+	"fmt"
+
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+	"accesys/internal/stats"
+)
+
+// Config parameterizes the whole PCIe subsystem. Defaults follow the
+// paper's Table II (RC 150 ns, Switch 50 ns).
+type Config struct {
+	// Link applies to both the RC-switch and switch-EP links.
+	Link LinkConfig
+
+	// TLPHeaderBytes is the per-TLP wire overhead: framing + header +
+	// LCRC (default 24).
+	TLPHeaderBytes int
+
+	// Processing latencies (store-and-forward, per hop).
+	RCLatency     sim.Tick // default 150 ns
+	SwitchLatency sim.Tick // default 50 ns
+	EPLatency     sim.Tick // default 20 ns
+
+	// Initiation intervals: one TLP per II per direction per hop.
+	RCProcII     sim.Tick // default 16 ns
+	SwitchProcII sim.Tick // default 10 ns
+	EPProcII     sim.Tick // default 4 ns
+
+	// Receiver buffer sizes gating the credit flow control.
+	RCBufBytes     int // default 8192
+	SwitchBufBytes int // default 4096
+	EPBufBytes     int // default 16384
+
+	// TxQueueDepth bounds TLPs queued at each bridge before admission
+	// backpressure (default 32).
+	TxQueueDepth int
+
+	// CutThrough makes hops begin forwarding once a TLP's header has
+	// arrived instead of store-and-forward (an ablation of the
+	// paper's S&F pipeline; reduces per-hop latency for large TLPs).
+	CutThrough bool
+}
+
+func (c *Config) setDefaults() {
+	if c.TLPHeaderBytes == 0 {
+		c.TLPHeaderBytes = 24
+	}
+	if c.RCLatency == 0 {
+		c.RCLatency = 150 * sim.Nanosecond
+	}
+	if c.SwitchLatency == 0 {
+		c.SwitchLatency = 50 * sim.Nanosecond
+	}
+	if c.EPLatency == 0 {
+		c.EPLatency = 20 * sim.Nanosecond
+	}
+	if c.RCProcII == 0 {
+		c.RCProcII = 16 * sim.Nanosecond
+	}
+	if c.SwitchProcII == 0 {
+		c.SwitchProcII = 10 * sim.Nanosecond
+	}
+	if c.EPProcII == 0 {
+		c.EPProcII = 4 * sim.Nanosecond
+	}
+	if c.RCBufBytes == 0 {
+		c.RCBufBytes = 8192
+	}
+	if c.SwitchBufBytes == 0 {
+		c.SwitchBufBytes = 2048
+	}
+	if c.EPBufBytes == 0 {
+		c.EPBufBytes = 16384
+	}
+	if c.TxQueueDepth == 0 {
+		c.TxQueueDepth = 32
+	}
+	if c.Link.PropDelay == 0 {
+		c.Link.PropDelay = 5 * sim.Nanosecond
+	}
+}
+
+// Tree is an assembled PCIe fabric: RC <-> Switch <-> EP[i].
+type Tree struct {
+	RC     *RootComplex
+	Switch *Switch
+	EPs    []*Endpoint
+	cfg    Config
+}
+
+// NewTree builds the fabric with one endpoint per element of epRanges;
+// each endpoint claims its address ranges for downstream routing.
+func NewTree(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config, epRanges ...[]mem.AddrRange) *Tree {
+	cfg.setDefaults()
+	if cfg.Link.Lanes <= 0 || cfg.Link.LaneGbps <= 0 {
+		panic(fmt.Sprintf("pcie: %s: link needs lanes and rate", name))
+	}
+	if len(epRanges) == 0 {
+		panic(fmt.Sprintf("pcie: %s: at least one endpoint required", name))
+	}
+
+	t := &Tree{cfg: cfg}
+	t.RC = newRootComplex(name+".rc", eq, reg, cfg)
+	t.Switch = newSwitch(name+".switch", eq, reg, cfg)
+
+	cut := 0
+	if cfg.CutThrough {
+		cut = cfg.TLPHeaderBytes
+	}
+
+	// RC -> switch and switch -> RC conns.
+	t.RC.down = newConn(name+".rc2sw", eq, cfg.Link, t.Switch, cfg.SwitchBufBytes)
+	t.RC.down.OnDrain = t.RC.wakeHost
+	t.RC.down.cutThroughHdr = cut
+	t.Switch.fromRC = t.RC.down
+	t.Switch.up = newConn(name+".sw2rc", eq, cfg.Link, t.RC, cfg.RCBufBytes)
+	t.Switch.up.cutThroughHdr = cut
+
+	for i, ranges := range epRanges {
+		ep := newEndpoint(fmt.Sprintf("%s.ep%d", name, i), i, eq, reg, cfg, ranges)
+		down := newConn(fmt.Sprintf("%s.sw2ep%d", name, i), eq, cfg.Link, ep, cfg.EPBufBytes)
+		down.cutThroughHdr = cut
+		ep.up = newConn(fmt.Sprintf("%s.ep%d2sw", name, i), eq, cfg.Link, t.Switch, cfg.SwitchBufBytes)
+		ep.up.OnDrain = ep.wakeDev
+		ep.up.cutThroughHdr = cut
+		t.Switch.downs = append(t.Switch.downs, down)
+		for _, r := range ranges {
+			t.Switch.addrMap.Add(r, i)
+		}
+		t.EPs = append(t.EPs, ep)
+	}
+	return t
+}
+
+// EP returns endpoint i.
+func (t *Tree) EP(i int) *Endpoint { return t.EPs[i] }
+
+// Config returns the tree's resolved configuration.
+func (t *Tree) Config() Config { return t.cfg }

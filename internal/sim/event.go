@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Priority orders events that fire on the same tick. Lower values run
+// first. The bands follow gem5's convention: component state updates
+// run before default-priority work, stat dumps run last.
+type Priority int
+
+// Priority bands for same-tick ordering.
+const (
+	PriorityUpdate  Priority = -100 // internal state updates
+	PriorityDefault Priority = 0    // normal component events
+	PriorityStats   Priority = 100  // statistics collection
+)
+
+// Event is a scheduled closure. Events are created by EventQueue and
+// may be rescheduled or cancelled while pending. An Event value must
+// not be shared across queues.
+type Event struct {
+	fn    func()
+	when  Tick
+	prio  Priority
+	seq   uint64
+	index int // heap index, -1 when not queued
+	name  string
+}
+
+// When reports the tick the event is scheduled for. Meaningless if the
+// event is not pending.
+func (e *Event) When() Tick { return e.when }
+
+// Pending reports whether the event currently sits in its queue.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Name returns the diagnostic label assigned at creation.
+func (e *Event) Name() string { return e.name }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is the deterministic discrete-event scheduler. It is not
+// safe for concurrent use; the whole simulation runs on one queue in
+// one goroutine.
+type EventQueue struct {
+	heap    eventHeap
+	now     Tick
+	seq     uint64
+	stopped bool
+	// Executed counts events dispatched since creation; useful for
+	// progress reporting and performance measurement.
+	Executed uint64
+}
+
+// NewEventQueue returns an empty queue positioned at tick 0.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// Now reports the current simulation tick.
+func (q *EventQueue) Now() Tick { return q.now }
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.heap) }
+
+// NewEvent creates a named, unscheduled event bound to this queue.
+func (q *EventQueue) NewEvent(name string, fn func()) *Event {
+	return &Event{fn: fn, index: -1, name: name}
+}
+
+// Schedule inserts fn to run at absolute tick when, with default
+// priority, and returns the event handle.
+func (q *EventQueue) Schedule(fn func(), when Tick) *Event {
+	e := q.NewEvent("", fn)
+	q.ScheduleEvent(e, when, PriorityDefault)
+	return e
+}
+
+// ScheduleAfter inserts fn to run delay ticks after the current time.
+func (q *EventQueue) ScheduleAfter(fn func(), delay Tick) *Event {
+	return q.Schedule(fn, q.now+delay)
+}
+
+// ScheduleEvent inserts a previously created (or previously fired)
+// event at an absolute tick with an explicit priority. Scheduling an
+// already-pending event or scheduling into the past panics: both
+// indicate a component protocol bug that must not be masked.
+func (q *EventQueue) ScheduleEvent(e *Event, when Tick, prio Priority) {
+	if e.Pending() {
+		panic(fmt.Sprintf("sim: event %q already scheduled", e.name))
+	}
+	if when < q.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", e.name, when, q.now))
+	}
+	e.when = when
+	e.prio = prio
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.heap, e)
+}
+
+// Deschedule removes a pending event from the queue. Descheduling a
+// non-pending event is a no-op.
+func (q *EventQueue) Deschedule(e *Event) {
+	if !e.Pending() {
+		return
+	}
+	heap.Remove(&q.heap, e.index)
+}
+
+// Reschedule moves a pending event to a new tick (or schedules it if it
+// was idle), keeping its priority.
+func (q *EventQueue) Reschedule(e *Event, when Tick) {
+	prio := e.prio
+	q.Deschedule(e)
+	q.ScheduleEvent(e, when, prio)
+}
+
+// Step dispatches the single next event. It reports false when the
+// queue is empty.
+func (q *EventQueue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.heap).(*Event)
+	q.now = e.when
+	q.Executed++
+	e.fn()
+	return true
+}
+
+// Run dispatches events until the queue drains or Stop is called.
+func (q *EventQueue) Run() {
+	q.stopped = false
+	for !q.stopped && q.Step() {
+	}
+}
+
+// RunUntil dispatches events with tick <= limit. Events beyond the
+// limit stay queued; the current time advances to the limit if the
+// queue outlived it, so repeated RunUntil calls observe monotonic time.
+func (q *EventQueue) RunUntil(limit Tick) {
+	q.stopped = false
+	for !q.stopped {
+		if len(q.heap) == 0 {
+			break
+		}
+		if q.heap[0].when > limit {
+			break
+		}
+		q.Step()
+	}
+	if q.now < limit && len(q.heap) > 0 {
+		q.now = limit
+	}
+}
+
+// Stop makes a Run/RunUntil in progress return after the current event.
+func (q *EventQueue) Stop() { q.stopped = true }

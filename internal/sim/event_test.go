@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueueOrdersByTick(t *testing.T) {
+	q := NewEventQueue()
+	var got []int
+	q.Schedule(func() { got = append(got, 3) }, 30)
+	q.Schedule(func() { got = append(got, 1) }, 10)
+	q.Schedule(func() { got = append(got, 2) }, 20)
+	q.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", q.Now())
+	}
+}
+
+func TestEventQueueSameTickFIFO(t *testing.T) {
+	q := NewEventQueue()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(func() { got = append(got, i) }, 5)
+	}
+	q.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-tick order = %v, want insertion order", got)
+		}
+	}
+}
+
+func TestEventQueuePriority(t *testing.T) {
+	q := NewEventQueue()
+	var got []string
+	e1 := q.NewEvent("stats", func() { got = append(got, "stats") })
+	e2 := q.NewEvent("update", func() { got = append(got, "update") })
+	e3 := q.NewEvent("default", func() { got = append(got, "default") })
+	q.ScheduleEvent(e1, 7, PriorityStats)
+	q.ScheduleEvent(e3, 7, PriorityDefault)
+	q.ScheduleEvent(e2, 7, PriorityUpdate)
+	q.Run()
+	if got[0] != "update" || got[1] != "default" || got[2] != "stats" {
+		t.Fatalf("priority order = %v", got)
+	}
+}
+
+func TestScheduleDuringDispatch(t *testing.T) {
+	q := NewEventQueue()
+	var fired []Tick
+	q.Schedule(func() {
+		fired = append(fired, q.Now())
+		q.ScheduleAfter(func() { fired = append(fired, q.Now()) }, 15)
+	}, 10)
+	q.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 25 {
+		t.Fatalf("fired = %v, want [10 25]", fired)
+	}
+}
+
+func TestDeschedule(t *testing.T) {
+	q := NewEventQueue()
+	ran := false
+	e := q.Schedule(func() { ran = true }, 10)
+	if !e.Pending() {
+		t.Fatal("event should be pending after Schedule")
+	}
+	q.Deschedule(e)
+	if e.Pending() {
+		t.Fatal("event should not be pending after Deschedule")
+	}
+	q.Run()
+	if ran {
+		t.Fatal("descheduled event ran")
+	}
+	// Descheduling again is a harmless no-op.
+	q.Deschedule(e)
+}
+
+func TestReschedule(t *testing.T) {
+	q := NewEventQueue()
+	var at Tick
+	e := q.Schedule(func() { at = q.Now() }, 10)
+	q.Reschedule(e, 40)
+	q.Run()
+	if at != 40 {
+		t.Fatalf("fired at %v, want 40", at)
+	}
+	// Rescheduling a fired (idle) event schedules it fresh.
+	q.Reschedule(e, 50)
+	q.Run()
+	if at != 50 {
+		t.Fatalf("refired at %v, want 50", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := NewEventQueue()
+	var got []Tick
+	for _, tk := range []Tick{5, 10, 15, 20} {
+		tk := tk
+		q.Schedule(func() { got = append(got, tk) }, tk)
+	}
+	q.RunUntil(12)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(12) ran %d events, want 2", len(got))
+	}
+	if q.Now() != 12 {
+		t.Fatalf("Now() = %v after RunUntil(12)", q.Now())
+	}
+	q.RunUntil(100)
+	if len(got) != 4 {
+		t.Fatalf("second RunUntil ran %d total, want 4", len(got))
+	}
+}
+
+func TestStopDuringRun(t *testing.T) {
+	q := NewEventQueue()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		q.Schedule(func() {
+			n++
+			if n == 3 {
+				q.Stop()
+			}
+		}, Tick(i))
+	}
+	q.Run()
+	if n != 3 {
+		t.Fatalf("ran %d events before stop, want 3", n)
+	}
+	q.Run() // resumes
+	if n != 10 {
+		t.Fatalf("ran %d events total, want 10", n)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	q := NewEventQueue()
+	q.Schedule(func() {}, 100)
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	q.Schedule(func() {}, 50)
+}
+
+func TestDoubleSchedulePanics(t *testing.T) {
+	q := NewEventQueue()
+	e := q.Schedule(func() {}, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double-scheduling did not panic")
+		}
+	}()
+	q.ScheduleEvent(e, 20, PriorityDefault)
+}
+
+// Property: dispatch order equals the stable sort of (tick, seq) no
+// matter the insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_ = rng
+		q := NewEventQueue()
+		type rec struct {
+			tick Tick
+			seq  int
+		}
+		var want []rec
+		var got []rec
+		for i, r := range raw {
+			tick := Tick(r % 512)
+			i := i
+			want = append(want, rec{tick, i})
+			q.Schedule(func() { got = append(got, rec{tick, i}) }, tick)
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].tick < want[b].tick })
+		q.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickString(t *testing.T) {
+	cases := []struct {
+		t    Tick
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{Second, "1.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Tick(%d).String() = %q, want %q", uint64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTickConversions(t *testing.T) {
+	if TicksFromNanoseconds(1.5) != 1500 {
+		t.Fatalf("TicksFromNanoseconds(1.5) = %v", TicksFromNanoseconds(1.5))
+	}
+	if TicksFromNanoseconds(-1) != 0 {
+		t.Fatal("negative duration should clamp to zero")
+	}
+	if TicksFromSeconds(1e-9) != Nanosecond {
+		t.Fatalf("TicksFromSeconds(1ns) = %v", TicksFromSeconds(1e-9))
+	}
+	if got := (2 * Nanosecond).Nanoseconds(); got != 2 {
+		t.Fatalf("Nanoseconds() = %v", got)
+	}
+	if got := (3 * Second).Seconds(); got != 3 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(1000) // 1 GHz -> 1ns period
+	if c.Period() != Nanosecond {
+		t.Fatalf("period = %v, want 1ns", c.Period())
+	}
+	if c.Cycles(5) != 5*Nanosecond {
+		t.Fatalf("Cycles(5) = %v", c.Cycles(5))
+	}
+	if c.ToCycles(5500) != 5 {
+		t.Fatalf("ToCycles(5.5ns) = %v, want 5", c.ToCycles(5500))
+	}
+	if c.NextEdge(1000) != 1000 {
+		t.Fatal("NextEdge on an edge should be identity")
+	}
+	if c.NextEdge(1001) != 2000 {
+		t.Fatalf("NextEdge(1001) = %v, want 2000", c.NextEdge(1001))
+	}
+	if c.EdgeAfter(1001, 2) != 4000 {
+		t.Fatalf("EdgeAfter(1001, 2) = %v, want 4000", c.EdgeAfter(1001, 2))
+	}
+	if got := c.FrequencyMHz(); got != 1000 {
+		t.Fatalf("FrequencyMHz = %v", got)
+	}
+}
+
+func TestClockFromPeriod(t *testing.T) {
+	c := ClockFromPeriod(250) // 4 GHz
+	if c.FrequencyMHz() != 4000 {
+		t.Fatalf("FrequencyMHz = %v, want 4000", c.FrequencyMHz())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period should panic")
+		}
+	}()
+	ClockFromPeriod(0)
+}
+
+func TestExecutedCounter(t *testing.T) {
+	q := NewEventQueue()
+	for i := 0; i < 7; i++ {
+		q.Schedule(func() {}, Tick(i))
+	}
+	q.Run()
+	if q.Executed != 7 {
+		t.Fatalf("Executed = %d, want 7", q.Executed)
+	}
+}
+
+func BenchmarkEventQueueThroughput(b *testing.B) {
+	q := NewEventQueue()
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			q.ScheduleAfter(fire, 100)
+		}
+	}
+	q.ScheduleAfter(fire, 100)
+	b.ResetTimer()
+	q.Run()
+}
+
+func BenchmarkEventQueueDeepHeap(b *testing.B) {
+	q := NewEventQueue()
+	// 4096 pending events at all times, popping and pushing.
+	for i := 0; i < 4096; i++ {
+		var fn func()
+		fn = func() { q.ScheduleAfter(fn, Tick(1000+i%97)) }
+		q.ScheduleAfter(fn, Tick(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Step()
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace provides a lightweight transaction tracer: components
+// (or test harnesses) record packet milestones into a bounded ring and
+// dump them as a chronological, grep-friendly log — the debugging aid
+// gem5 users know as DPRINTF/--debug-flags, scoped to the memory
+// system.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+)
+
+// Event is one recorded milestone of a packet's journey.
+type Event struct {
+	Tick  sim.Tick
+	Where string // component name
+	What  string // milestone, e.g. "recv", "fwd", "resp"
+	Pkt   string // rendered packet (captured, not referenced)
+	ID    uint64
+}
+
+// Tracer records events into a bounded ring buffer. A nil *Tracer is
+// valid and records nothing, so components can carry an optional
+// tracer without nil checks at every call site.
+type Tracer struct {
+	eq    *sim.EventQueue
+	ring  []Event
+	next  int
+	count uint64
+	// Filter, when non-nil, drops events it returns false for.
+	Filter func(where, what string) bool
+}
+
+// New builds a tracer with capacity entries (default 4096 when <= 0).
+func New(eq *sim.EventQueue, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{eq: eq, ring: make([]Event, 0, capacity)}
+}
+
+// Record captures a packet milestone.
+func (t *Tracer) Record(where, what string, pkt *mem.Packet) {
+	if t == nil {
+		return
+	}
+	if t.Filter != nil && !t.Filter(where, what) {
+		return
+	}
+	ev := Event{Tick: t.eq.Now(), Where: where, What: what}
+	if pkt != nil {
+		ev.Pkt = pkt.String()
+		ev.ID = pkt.ID
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.count++
+}
+
+// Len reports the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Total reports all events ever recorded (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	if len(t.ring) < cap(t.ring) {
+		// Ring not yet wrapped: entries are already in order.
+		out = out[:0]
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Dump writes the retained trace as one line per event.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, ev := range t.Events() {
+		if _, err := fmt.Fprintf(w, "%12d %-24s %-8s %s\n",
+			uint64(ev.Tick), ev.Where, ev.What, ev.Pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PacketHistory returns the retained milestones of one packet ID.
+func (t *Tracer) PacketHistory(id uint64) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.ID == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+)
+
+func TestRecordAndDump(t *testing.T) {
+	eq := sim.NewEventQueue()
+	tr := New(eq, 16)
+	pkt := mem.NewRead(0x1000, 64)
+	eq.Schedule(func() { tr.Record("bus", "recv", pkt) }, 100)
+	eq.Schedule(func() { tr.Record("dram", "resp", pkt) }, 200)
+	eq.Run()
+
+	if tr.Len() != 2 || tr.Total() != 2 {
+		t.Fatalf("Len=%d Total=%d", tr.Len(), tr.Total())
+	}
+	evs := tr.Events()
+	if evs[0].Tick != 100 || evs[1].Tick != 200 {
+		t.Fatalf("order wrong: %+v", evs)
+	}
+
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bus") || !strings.Contains(sb.String(), "ReadReq") {
+		t.Fatalf("dump missing fields:\n%s", sb.String())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	eq := sim.NewEventQueue()
+	tr := New(eq, 4)
+	for i := 0; i < 10; i++ {
+		tr.Record("c", "e", nil)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring should cap at 4, got %d", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+}
+
+func TestRingOrderAfterWrap(t *testing.T) {
+	eq := sim.NewEventQueue()
+	tr := New(eq, 4)
+	for i := 0; i < 7; i++ {
+		i := i
+		eq.Schedule(func() { tr.Record("c", "e", mem.NewRead(uint64(i), 8)) }, sim.Tick(i+1))
+	}
+	eq.Run()
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Tick < evs[i-1].Tick {
+			t.Fatalf("events out of order after wrap: %+v", evs)
+		}
+	}
+	if evs[0].Tick != 4 {
+		t.Fatalf("oldest retained should be tick 4, got %v", evs[0].Tick)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("x", "y", nil) // must not panic
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	eq := sim.NewEventQueue()
+	tr := New(eq, 8)
+	tr.Filter = func(where, what string) bool { return where == "keep" }
+	tr.Record("keep", "a", nil)
+	tr.Record("drop", "b", nil)
+	if tr.Len() != 1 {
+		t.Fatalf("filter failed: %d events", tr.Len())
+	}
+}
+
+func TestPacketHistory(t *testing.T) {
+	eq := sim.NewEventQueue()
+	tr := New(eq, 16)
+	p1 := mem.NewRead(0, 8)
+	p2 := mem.NewRead(8, 8)
+	tr.Record("a", "recv", p1)
+	tr.Record("a", "recv", p2)
+	tr.Record("b", "resp", p1)
+	h := tr.PacketHistory(p1.ID)
+	if len(h) != 2 || h[0].What != "recv" || h[1].What != "resp" {
+		t.Fatalf("history wrong: %+v", h)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	eq := sim.NewEventQueue()
+	tr := New(eq, 0)
+	for i := 0; i < 5000; i++ {
+		tr.Record("c", "e", nil)
+	}
+	if tr.Len() != 4096 {
+		t.Fatalf("default capacity should be 4096, got %d", tr.Len())
+	}
+}
