@@ -1,0 +1,37 @@
+# AcceSys build and CI entry points.
+#
+#   make ci      - what CI runs: vet + race-enabled tests
+#   make test    - fast test pass
+#   make race    - full test pass under the race detector (exercises
+#                  the sweep worker pool with concurrent simulations)
+#   make bench   - one pass over the benchmark harness
+#   make figures - regenerate every paper artifact (parallel, cached)
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+figures: build
+	$(GO) run ./cmd/accesys -v
+
+clean:
+	$(GO) clean ./...

@@ -2,28 +2,49 @@
 //
 // Usage:
 //
-//	accesys [-full] [-v] [experiment ...]
+//	accesys [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]
 //
 // With no arguments every experiment runs in paper order. Experiment
 // ids: fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9.
+//
+// Each experiment's run matrix executes on the sweep engine: -jobs
+// bounds the worker pool (default: all CPUs) and completed runs are
+// memoised in an on-disk cache keyed by the run's full configuration,
+// so repeated invocations skip untouched design points. Parallel and
+// sequential execution produce identical rows.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"accesys/internal/exp"
+	"accesys/internal/sweep"
 )
+
+// defaultCacheDir places the result cache under the user cache root,
+// falling back to a working-directory folder when none exists.
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "accesys")
+	}
+	return ".accesys-cache"
+}
 
 func main() {
 	full := flag.Bool("full", false, "run paper-scale matrix sizes (2048); slower")
 	verbose := flag.Bool("v", false, "stream per-run progress")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers per experiment")
+	cacheDir := flag.String("cache", defaultCacheDir(), "result cache directory")
+	noCache := flag.Bool("nocache", false, "disable the on-disk result cache")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: accesys [-full] [-v] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: accesys [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s (default: all)\n", strings.Join(exp.IDs(), " "))
 		flag.PrintDefaults()
 	}
@@ -36,7 +57,15 @@ func main() {
 		return
 	}
 
-	opt := exp.Options{Full: *full, Verbose: *verbose, Out: os.Stderr}
+	opt := exp.Options{Full: *full, Verbose: *verbose, Out: os.Stderr, Jobs: *jobs}
+	if !*noCache {
+		cache, err := sweep.OpenSalted(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "accesys: result cache disabled: %v\n", err)
+		} else {
+			opt.Cache = cache
+		}
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -53,5 +82,10 @@ func main() {
 		res := f(opt)
 		res.Note("wall time: %.1fs", time.Since(start).Seconds())
 		res.Fprint(os.Stdout)
+	}
+	if opt.Cache != nil && *verbose {
+		hits, misses, errors := opt.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "accesys: cache %s: %d hits, %d misses, %d errors\n",
+			opt.Cache.Dir(), hits, misses, errors)
 	}
 }

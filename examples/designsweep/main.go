@@ -3,12 +3,18 @@
 // configuration within a target of the best performance — the
 // "balanced performance and cost" co-design flow the paper motivates.
 //
-//	go run ./examples/designsweep [-n 512] [-target 0.85]
+// The sweep fans out over the parallel sweep engine: all 25 design
+// points run concurrently (-jobs bounds the pool) and -cache memoises
+// finished points on disk so iterating on the cost model or target is
+// instant.
+//
+//	go run ./examples/designsweep [-n 512] [-target 0.85] [-jobs N] [-cache dir]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"accesys/internal/core"
 	"accesys/internal/dram"
@@ -16,6 +22,7 @@ import (
 	"accesys/internal/exp"
 	"accesys/internal/pcie"
 	"accesys/internal/sim"
+	"accesys/internal/sweep"
 )
 
 // relCost is a toy bill-of-materials weight per design point: wider
@@ -31,10 +38,65 @@ func relCost(gbps float64, spec dram.Spec) float64 {
 func main() {
 	n := flag.Int("n", 512, "square GEMM size")
 	target := flag.Float64("target", 0.85, "required fraction of best performance")
+	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = all CPUs)")
+	cacheDir := flag.String("cache", "", "result cache directory (empty = no cache)")
 	flag.Parse()
 
 	links := []float64{2, 8, 16, 32, 64}
 	specs := []dram.Spec{dram.DDR3_1600, dram.DDR4_2400, dram.DDR5_3200, dram.GDDR5_2000, dram.HBM2_2000}
+
+	eng := &sweep.Engine{Jobs: *jobs}
+	if *cacheDir != "" {
+		cache, err := sweep.OpenSalted(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "designsweep: cache disabled: %v\n", err)
+		} else {
+			eng.Cache = cache
+		}
+	}
+
+	var points []sweep.Point
+	for _, gbps := range links {
+		for _, spec := range specs {
+			cfg := core.PCIe8GB()
+			cfg.Name = fmt.Sprintf("dse-%g-%s", gbps, spec.Name)
+			cfg.PCIe = pcie.Config{Link: pcie.LinkForGBps(gbps, 16)}
+			cfg.HostSpec = spec
+			points = append(points, sweep.Point{
+				Key:         cfg.Name,
+				Fingerprint: sweep.Fingerprint("designsweep", cfg, *n),
+				Run: func() sweep.Outcome {
+					sys, drv := exp.BuildSystem(cfg)
+					var d sim.Tick
+					done := false
+					drv.RunGEMM(driver.GEMMSpec{M: *n, N: *n, K: *n}, func(r driver.Result) {
+						d = r.Job.Duration()
+						done = true
+					})
+					sys.Run()
+					if !done {
+						panic(fmt.Sprintf("designsweep: GEMM under %s never completed", cfg.Name))
+					}
+					return sweep.Outcome{Dur: d}
+				},
+			})
+		}
+	}
+
+	// Stream per-point progress to stderr so long sweeps don't look
+	// hung; OnResult calls are serialised by the engine.
+	done := 0
+	eng.OnResult = func(r sweep.Result) {
+		done++
+		tag := ""
+		if r.Cached {
+			tag = " (cached)"
+		}
+		fmt.Fprintf(os.Stderr, "  [%2d/%d] %-22s %v%s\n", done, len(points), r.Key, r.Outcome.Dur, tag)
+	}
+
+	fmt.Printf("sweeping %d design points (GEMM %d)...\n\n", len(points), *n)
+	outs := eng.Run(points)
 
 	type point struct {
 		gbps float64
@@ -42,30 +104,19 @@ func main() {
 		time sim.Tick
 		cost float64
 	}
-	var points []point
+	var results []point
 	var best sim.Tick
 
-	fmt.Printf("sweeping %d design points (GEMM %d)...\n\n", len(links)*len(specs), *n)
 	fmt.Printf("%-8s", "GB/s")
 	for _, s := range specs {
 		fmt.Printf("  %-12s", s.Name)
 	}
 	fmt.Println()
-
-	for _, gbps := range links {
+	for li, gbps := range links {
 		fmt.Printf("%-8g", gbps)
-		for _, spec := range specs {
-			cfg := core.PCIe8GB()
-			cfg.Name = fmt.Sprintf("dse-%g-%s", gbps, spec.Name)
-			cfg.PCIe = pcie.Config{Link: pcie.LinkForGBps(gbps, 16)}
-			cfg.HostSpec = spec
-			sys, drv := exp.BuildSystem(cfg)
-			var d sim.Tick
-			drv.RunGEMM(driver.GEMMSpec{M: *n, N: *n, K: *n}, func(r driver.Result) {
-				d = r.Job.Duration()
-			})
-			sys.Run()
-			points = append(points, point{gbps, spec, d, relCost(gbps, spec)})
+		for si, spec := range specs {
+			d := outs[li*len(specs)+si].Dur
+			results = append(results, point{gbps, spec, d, relCost(gbps, spec)})
 			if best == 0 || d < best {
 				best = d
 			}
@@ -76,8 +127,8 @@ func main() {
 
 	// Recommend: cheapest point achieving target x best performance.
 	var pick *point
-	for i := range points {
-		p := &points[i]
+	for i := range results {
+		p := &results[i]
 		if float64(best)/float64(p.time) >= *target {
 			if pick == nil || p.cost < pick.cost {
 				pick = p

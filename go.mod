@@ -1,0 +1,3 @@
+module accesys
+
+go 1.24

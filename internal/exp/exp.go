@@ -13,9 +13,10 @@ import (
 	"accesys/internal/core"
 	"accesys/internal/driver"
 	"accesys/internal/sim"
+	"accesys/internal/sweep"
 )
 
-// Options tune experiment scale.
+// Options tune experiment scale and execution.
 type Options struct {
 	// Full runs paper-scale matrix sizes (2048); otherwise reduced
 	// sizes keep runtimes interactive.
@@ -24,6 +25,12 @@ type Options struct {
 	Verbose bool
 	// Out receives progress output (default: discard).
 	Out io.Writer
+	// Jobs bounds each experiment's sweep worker pool; <= 0 runs one
+	// worker per CPU. Results are ordering-deterministic regardless.
+	Jobs int
+	// Cache, when non-nil, memoises completed runs on disk so repeated
+	// invocations skip untouched design points.
+	Cache *sweep.Cache
 }
 
 func (o Options) size(quick, full int) int {
@@ -114,6 +121,43 @@ func BuildSystem(cfg core.Config) (*core.System, *driver.Driver) {
 		Flush:     sys.FlushCaches,
 	}, dcfg)
 	return sys, drv
+}
+
+// sweepAll fans the experiment's points out over the engine and
+// returns their outcomes in declaration order, streaming per-run
+// progress when the options ask for it.
+func (o Options) sweepAll(id string, points []sweep.Point) []sweep.Outcome {
+	eng := &sweep.Engine{Jobs: o.Jobs, Cache: o.Cache}
+	if o.Verbose && o.Out != nil {
+		eng.OnResult = func(r sweep.Result) {
+			if r.Cached {
+				o.logf("%s: %s -> %v (cached)\n", id, r.Key, r.Outcome.Dur)
+				return
+			}
+			o.logf("%s: %s -> %v (%.1fs wall)\n", id, r.Key, r.Outcome.Dur, r.Wall.Seconds())
+		}
+	}
+	return eng.Run(points)
+}
+
+// gemmPoint wraps one timing-only n^3 GEMM under cfg as a sweep
+// point. extract, when non-nil, pulls named metrics out of the
+// finished system into the outcome (so they survive the result cache).
+func gemmPoint(cfg core.Config, n int, extract func(*core.System, driver.Result) map[string]float64) sweep.Point {
+	return sweep.Point{
+		Key: cfg.Name,
+		// The backend type tag keeps configs with interface-valued
+		// backends that marshal alike from aliasing in the cache.
+		Fingerprint: sweep.Fingerprint("gemm", cfg, n, fmt.Sprintf("%T", cfg.Accel.Backend)),
+		Run: func() sweep.Outcome {
+			d, sys, res := timeGEMM(cfg, n)
+			out := sweep.Outcome{Dur: d}
+			if extract != nil {
+				out.Values = extract(sys, res)
+			}
+			return out
+		},
+	}
 }
 
 // timeGEMM builds the config, runs one timing-only n^3 GEMM, and

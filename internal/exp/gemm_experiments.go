@@ -6,8 +6,10 @@ import (
 	"accesys/internal/analytic"
 	"accesys/internal/core"
 	"accesys/internal/dram"
+	"accesys/internal/driver"
 	"accesys/internal/pcie"
 	"accesys/internal/sim"
+	"accesys/internal/sweep"
 )
 
 // Fig2Roofline reproduces Fig. 2: fixed 8 GB/s PCIe, sweep the
@@ -22,18 +24,20 @@ func Fig2Roofline(opt Options) *Result {
 	}
 
 	overrides := []sim.Tick{0, 100, 200, 400, 800, 1500, 3000, 6000, 12000}
-	var times []sim.Tick
-	var minT sim.Tick = sim.MaxTick
-	for _, ov := range overrides {
+	points := make([]sweep.Point, len(overrides))
+	for i, ov := range overrides {
 		cfg := core.PCIe8GB()
 		cfg.Name = fmt.Sprintf("fig2-%d", ov)
 		cfg.Accel.ComputeOverride = ov * sim.Nanosecond
-		d, _, _ := timeGEMM(cfg, n)
-		times = append(times, d)
-		if d < minT {
-			minT = d
+		points[i] = gemmPoint(cfg, n, nil)
+	}
+	outs := opt.sweepAll("fig2", points)
+
+	var minT sim.Tick = sim.MaxTick
+	for _, o := range outs {
+		if o.Dur < minT {
+			minT = o.Dur
 		}
-		opt.logf("fig2: override=%dns time=%v\n", ov, d)
 	}
 	for i, ov := range overrides {
 		label := fmt.Sprintf("%d", ov)
@@ -41,18 +45,18 @@ func Fig2Roofline(opt Options) *Result {
 			label = "model"
 		}
 		r.AddRow(label,
-			fmt.Sprintf("%.3f", times[i].Seconds()*1e3),
-			fmt.Sprintf("%.3f", float64(times[i])/float64(minT)))
+			fmt.Sprintf("%.3f", outs[i].Dur.Seconds()*1e3),
+			fmt.Sprintf("%.3f", float64(outs[i].Dur)/float64(minT)))
 	}
 
 	// Shape check: plateau at small compute times, linear growth at
 	// large ones; knee where tiles*override crosses the plateau.
 	tiles := (n / 16) * (n / 16)
-	plateau := times[1]
+	plateau := outs[1].Dur
 	knee := float64(plateau) / float64(tiles) / float64(sim.Nanosecond)
 	r.Note("paper: plateau below ~1500 ns/tile, linear above (knee marks memory->compute bound transition)")
 	r.Note("measured: transfer-bound plateau %.3f ms; knee at ~%.0f ns/tile; largest/smallest = %.1fx",
-		plateau.Seconds()*1e3, knee, float64(times[len(times)-1])/float64(minT))
+		plateau.Seconds()*1e3, knee, float64(outs[len(outs)-1].Dur)/float64(minT))
 	model := analytic.Roofline{Tiles: tiles, TransferNs: plateau.Nanoseconds()}
 	r.Note("analytic roofline knee: %.0f ns/tile", model.KneeNs())
 	return r
@@ -70,14 +74,22 @@ func Fig3BandwidthSweep(opt Options) *Result {
 	speeds := []float64{2, 4, 8, 16, 32, 64}
 	lanes := []int{2, 4, 8, 16}
 
-	var slowest, fastest sim.Tick
+	var points []sweep.Point
 	for _, l := range lanes {
-		row := []string{fmt.Sprintf("%d", l)}
 		for _, s := range speeds {
 			cfg := core.PCIe8GB()
 			cfg.Name = fmt.Sprintf("fig3-%dx%g", l, s)
 			cfg.PCIe = pcie.Config{Link: pcie.LinkConfig{Lanes: l, LaneGbps: s}}
-			d, _, _ := timeGEMM(cfg, n)
+			points = append(points, gemmPoint(cfg, n, nil))
+		}
+	}
+	outs := opt.sweepAll("fig3", points)
+
+	var slowest, fastest sim.Tick
+	for li, l := range lanes {
+		row := []string{fmt.Sprintf("%d", l)}
+		for si := range speeds {
+			d := outs[li*len(speeds)+si].Dur
 			row = append(row, fmt.Sprintf("%.3fms", d.Seconds()*1e3))
 			if slowest == 0 || d > slowest {
 				slowest = d
@@ -85,7 +97,6 @@ func Fig3BandwidthSweep(opt Options) *Result {
 			if fastest == 0 || d < fastest {
 				fastest = d
 			}
-			opt.logf("fig3: %dx%gGbps -> %v\n", l, s, d)
 		}
 		r.Rows = append(r.Rows, row)
 	}
@@ -105,18 +116,27 @@ func Fig4PacketSize(opt Options) *Result {
 		Headers: []string{"GB/s", "64B", "128B", "256B", "512B", "1024B", "2048B", "4096B"},
 	}
 	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	bandwidths := []float64{4, 8, 16, 32, 64}
 	lanesFor := map[float64]int{4: 4, 8: 8, 16: 16, 32: 16, 64: 16}
 
-	convexOK := true
-	for _, gbps := range []float64{4, 8, 16, 32, 64} {
-		row := []string{fmt.Sprintf("%g", gbps)}
-		var t64, t256, t4096 sim.Tick
+	var points []sweep.Point
+	for _, gbps := range bandwidths {
 		for _, sz := range sizes {
 			cfg := core.PCIe8GB()
 			cfg.Name = fmt.Sprintf("fig4-%g-%d", gbps, sz)
 			cfg.PCIe = pcie.Config{Link: pcie.LinkForGBps(gbps, lanesFor[gbps])}
 			cfg.Accel.HostDMA.BurstBytes = sz
-			d, _, _ := timeGEMM(cfg, n)
+			points = append(points, gemmPoint(cfg, n, nil))
+		}
+	}
+	outs := opt.sweepAll("fig4", points)
+
+	convexOK := true
+	for bi, gbps := range bandwidths {
+		row := []string{fmt.Sprintf("%g", gbps)}
+		var t64, t256, t4096 sim.Tick
+		for si, sz := range sizes {
+			d := outs[bi*len(sizes)+si].Dur
 			row = append(row, fmt.Sprintf("%.3fms", d.Seconds()*1e3))
 			switch sz {
 			case 64:
@@ -126,7 +146,6 @@ func Fig4PacketSize(opt Options) *Result {
 			case 4096:
 				t4096 = d
 			}
-			opt.logf("fig4: %gGB/s %dB -> %v\n", gbps, sz, d)
 		}
 		if !(t256 < t64 && t256 < t4096) {
 			convexOK = false
@@ -150,28 +169,33 @@ func Fig5MemoryLocation(opt Options) *Result {
 	}
 	techs := []dram.Spec{dram.DDR4_2400, dram.HBM2_2000, dram.GDDR5_2000, dram.LPDDR5_6400}
 
-	devT := make(map[string]sim.Tick)
-	host2T := make(map[string]sim.Tick)
-	host64T := make(map[string]sim.Tick)
+	// Three placements per technology, declared dev/host2/host64.
+	var points []sweep.Point
 	for _, spec := range techs {
 		devCfg := core.DevMemCfg()
 		devCfg.Name = "fig5-dev-" + spec.Name
 		devCfg.DevSpec = spec
-		d, _, _ := timeGEMM(devCfg, n)
-		devT[spec.Name] = d
+		points = append(points, gemmPoint(devCfg, n, nil))
 
 		h2 := core.PCIe2GB()
 		h2.Name = "fig5-h2-" + spec.Name
 		h2.HostSpec = spec
-		d2, _, _ := timeGEMM(h2, n)
-		host2T[spec.Name] = d2
+		points = append(points, gemmPoint(h2, n, nil))
 
 		h64 := core.PCIe64GB()
 		h64.Name = "fig5-h64-" + spec.Name
 		h64.HostSpec = spec
-		d64, _, _ := timeGEMM(h64, n)
-		host64T[spec.Name] = d64
-		opt.logf("fig5: %s dev=%v host2=%v host64=%v\n", spec.Name, d, d2, d64)
+		points = append(points, gemmPoint(h64, n, nil))
+	}
+	outs := opt.sweepAll("fig5", points)
+
+	devT := make(map[string]sim.Tick)
+	host2T := make(map[string]sim.Tick)
+	host64T := make(map[string]sim.Tick)
+	for i, spec := range techs {
+		devT[spec.Name] = outs[3*i].Dur
+		host2T[spec.Name] = outs[3*i+1].Dur
+		host64T[spec.Name] = outs[3*i+2].Dur
 	}
 
 	base := float64(devT[dram.DDR4_2400.Name])
@@ -204,7 +228,7 @@ func Fig6MemSweep(opt Options) *Result {
 		Headers: []string{"sweep", "value", "exec_ms", "normalized"},
 	}
 
-	run := func(latNs float64, bw float64) sim.Tick {
+	point := func(latNs float64, bw float64) sweep.Point {
 		cfg := core.PCIe64GB()
 		cfg.Name = fmt.Sprintf("fig6-%g-%g", latNs, bw)
 		cfg.HostSimple = &core.SimpleMemParams{
@@ -214,44 +238,72 @@ func Fig6MemSweep(opt Options) *Result {
 		// Keep the systolic array fast so memory (not compute) is the
 		// studied bottleneck, as in the paper's HBM case study.
 		cfg.Accel.ComputeOverride = 100 * sim.Nanosecond
-		d, _, _ := timeGEMM(cfg, n)
-		return d
+		return gemmPoint(cfg, n, nil)
 	}
 
 	bws := []float64{8, 16, 32, 50, 64, 100, 128, 256}
-	var bwTimes []sim.Tick
+	lats := []float64{1, 6, 12, 18, 24, 30, 36}
+	var points []sweep.Point
 	for _, bw := range bws {
-		d := run(30, bw)
-		bwTimes = append(bwTimes, d)
-		opt.logf("fig6: bw=%g -> %v\n", bw, d)
+		points = append(points, point(30, bw))
 	}
-	base := bwTimes[len(bwTimes)-1]
+	for _, lat := range lats {
+		points = append(points, point(lat, 64))
+	}
+	outs := opt.sweepAll("fig6", points)
+	bwOuts, latOuts := outs[:len(bws)], outs[len(bws):]
+
+	base := bwOuts[len(bwOuts)-1].Dur
 	for i, bw := range bws {
 		r.AddRow("bandwidth", fmt.Sprintf("%gGB/s", bw),
-			fmt.Sprintf("%.3f", bwTimes[i].Seconds()*1e3),
-			fmt.Sprintf("%.3f", float64(bwTimes[i])/float64(base)))
+			fmt.Sprintf("%.3f", bwOuts[i].Dur.Seconds()*1e3),
+			fmt.Sprintf("%.3f", float64(bwOuts[i].Dur)/float64(base)))
 	}
-
-	lats := []float64{1, 6, 12, 18, 24, 30, 36}
-	var latTimes []sim.Tick
-	for _, lat := range lats {
-		d := run(lat, 64)
-		latTimes = append(latTimes, d)
-		opt.logf("fig6: lat=%g -> %v\n", lat, d)
-	}
-	latBase := latTimes[0]
+	latBase := latOuts[0].Dur
 	for i, lat := range lats {
 		r.AddRow("latency", fmt.Sprintf("%gns", lat),
-			fmt.Sprintf("%.3f", latTimes[i].Seconds()*1e3),
-			fmt.Sprintf("%.3f", float64(latTimes[i])/float64(latBase)))
+			fmt.Sprintf("%.3f", latOuts[i].Dur.Seconds()*1e3),
+			fmt.Sprintf("%.3f", float64(latOuts[i].Dur)/float64(latBase)))
 	}
 
-	bwGain := 1 - float64(bwTimes[len(bwTimes)-1])/float64(bwTimes[0])
-	latLoss := float64(latTimes[len(latTimes)-1])/float64(latTimes[0]) - 1
+	bwGain := 1 - float64(bwOuts[len(bwOuts)-1].Dur)/float64(bwOuts[0].Dur)
+	latLoss := float64(latOuts[len(latOuts)-1].Dur)/float64(latOuts[0].Dur) - 1
 	r.Note("paper: bandwidth improves performance ~60%% and saturates past ~100 GB/s; latency adds only ~4.9%%")
 	r.Note("measured: bandwidth 8->256 GB/s improves %.0f%%; latency 1->36 ns costs %.1f%%",
 		100*bwGain, 100*latLoss)
 	return r
+}
+
+// tab4Points declares two points per matrix size: the translated run
+// (with its SMMU stats extracted into the outcome) and the same job
+// with the SMMU bypassed — overhead is measured the honest way,
+// comparing end-to-end times.
+func tab4Points(sizes []int) []sweep.Point {
+	var points []sweep.Point
+	for _, n := range sizes {
+		cfg := core.PCIe8GB()
+		cfg.Name = fmt.Sprintf("tab4-%d", n)
+		pre := cfg.Name + ".smmu."
+		points = append(points, gemmPoint(cfg, n,
+			func(sys *core.System, res driver.Result) map[string]float64 {
+				look := sys.Stats.Lookup
+				return map[string]float64{
+					"pages":        float64(res.PagesMapped),
+					"translations": look(pre + "translations").Value(),
+					"trans_ns":     look(pre + "trans_ns").Value(),
+					"ptws":         look(pre + "ptws").Value(),
+					"ptw_ns":       look(pre + "ptw_ns").Value(),
+					"utlb_lookups": look(pre + "utlb_lookups").Value(),
+					"utlb_misses":  look(pre + "utlb_misses").Value(),
+				}
+			}))
+
+		bypass := core.PCIe8GB()
+		bypass.Name = fmt.Sprintf("tab4b-%d", n)
+		bypass.SMMU.Bypass = true
+		points = append(points, gemmPoint(bypass, n, nil))
+	}
+	return points
 }
 
 // Tab4Translation reproduces Table IV: SMMU statistics across matrix
@@ -270,6 +322,8 @@ func Tab4Translation(opt Options) *Result {
 		r.Headers = append(r.Headers, fmt.Sprintf("%d", n))
 	}
 
+	outs := opt.sweepAll("tab4", tab4Points(sizes))
+
 	type row struct {
 		pages     int
 		trans     float64
@@ -281,32 +335,20 @@ func Tab4Translation(opt Options) *Result {
 		overhead  float64
 	}
 	var rows []row
-	for _, n := range sizes {
-		cfg := core.PCIe8GB()
-		cfg.Name = fmt.Sprintf("tab4-%d", n)
-		d, sys, res := timeGEMM(cfg, n)
-
-		// Overhead is measured the honest way: rerun the identical job
-		// with the SMMU bypassed and compare end-to-end times.
-		bypass := core.PCIe8GB()
-		bypass.Name = fmt.Sprintf("tab4b-%d", n)
-		bypass.SMMU.Bypass = true
-		dBypass, _, _ := timeGEMM(bypass, n)
-
-		look := sys.Stats.Lookup
-		pre := cfg.Name + ".smmu."
+	for i, n := range sizes {
+		trans, bypass := outs[2*i], outs[2*i+1]
 		rows = append(rows, row{
-			pages:     res.PagesMapped,
-			trans:     look(pre + "translations").Value(),
-			transMean: look(pre + "trans_ns").Value(),
-			ptws:      look(pre + "ptws").Value(),
-			ptwMean:   look(pre + "ptw_ns").Value(),
-			utlbLook:  look(pre + "utlb_lookups").Value(),
-			utlbMiss:  look(pre + "utlb_misses").Value(),
-			overhead:  100 * (float64(d) - float64(dBypass)) / float64(dBypass),
+			pages:     int(trans.Value("pages")),
+			trans:     trans.Value("translations"),
+			transMean: trans.Value("trans_ns"),
+			ptws:      trans.Value("ptws"),
+			ptwMean:   trans.Value("ptw_ns"),
+			utlbLook:  trans.Value("utlb_lookups"),
+			utlbMiss:  trans.Value("utlb_misses"),
+			overhead:  100 * (float64(trans.Dur) - float64(bypass.Dur)) / float64(bypass.Dur),
 		})
 		opt.logf("tab4: n=%d pages=%d trans=%.0f overhead=%.2f%%\n",
-			n, res.PagesMapped, rows[len(rows)-1].trans, rows[len(rows)-1].overhead)
+			n, rows[len(rows)-1].pages, rows[len(rows)-1].trans, rows[len(rows)-1].overhead)
 	}
 
 	add := func(name string, f func(row) string) {

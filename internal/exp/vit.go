@@ -2,12 +2,14 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"accesys/internal/analytic"
 	"accesys/internal/core"
 	"accesys/internal/cpu"
 	"accesys/internal/driver"
 	"accesys/internal/sim"
+	"accesys/internal/sweep"
 	"accesys/internal/workload"
 )
 
@@ -27,16 +29,34 @@ func vitConfigs() []core.Config {
 	return []core.Config{core.PCIe2GB(), core.PCIe8GB(), core.PCIe64GB(), core.DevMemCfg()}
 }
 
-var vitMemo = map[string]vitTimes{}
+// vitMemo caches in-process ViT runs across the Fig. 7/8/9 trio; the
+// mutex makes it safe under parallel sweep workers.
+var (
+	vitMu   sync.Mutex
+	vitMemo = map[string]vitTimes{}
+)
 
 // runViT simulates one encoder layer of the variant under cfg and
 // scales by the layer count. Results are memoized per (config, model).
 func runViT(opt Options, cfg core.Config, v workload.ViTVariant) vitTimes {
 	key := cfg.Name + "/" + v.Name
-	if t, ok := vitMemo[key]; ok {
+	vitMu.Lock()
+	t, ok := vitMemo[key]
+	vitMu.Unlock()
+	if ok {
 		return t
 	}
 
+	t = simViT(cfg, v)
+	vitMu.Lock()
+	vitMemo[key] = t
+	vitMu.Unlock()
+	opt.logf("vit: %s %s gemm=%v nongemm=%v\n", cfg.Name, v.Name, t.gemm, t.nonGemm)
+	return t
+}
+
+// simViT is the uncached simulation of one encoder layer.
+func simViT(cfg core.Config, v workload.ViTVariant) vitTimes {
 	g := workload.ViT(v)
 	sys, drv := BuildSystem(cfg)
 	devMode := sys.Cfg.Access == core.DevMem
@@ -95,15 +115,60 @@ func runViT(opt Options, cfg core.Config, v workload.ViTVariant) vitTimes {
 		panic(fmt.Sprintf("exp: ViT run under %s stalled at item %d/%d", cfg.Name, idx, len(g.Items)))
 	}
 
-	t := vitTimes{
+	return vitTimes{
 		config:  cfg.Name,
 		model:   v.Name,
 		gemm:    gemmT * sim.Tick(g.Layers),
 		nonGemm: cpuT * sim.Tick(g.Layers),
 	}
-	vitMemo[key] = t
-	opt.logf("vit: %s %s gemm=%v nongemm=%v\n", cfg.Name, v.Name, t.gemm, t.nonGemm)
-	return t
+}
+
+// vitPoint wraps one (config, model) ViT run as a sweep point. The
+// outcome carries the GEMM/Non-GEMM split so it survives the result
+// cache.
+func vitPoint(opt Options, cfg core.Config, v workload.ViTVariant) sweep.Point {
+	return sweep.Point{
+		Key:         cfg.Name + "/" + v.Name,
+		Fingerprint: sweep.Fingerprint("vit", cfg, v, fmt.Sprintf("%T", cfg.Accel.Backend)),
+		Run: func() sweep.Outcome {
+			t := runViT(opt, cfg, v)
+			return sweep.Outcome{
+				Dur: t.total(),
+				Values: map[string]float64{
+					"gemm":    float64(t.gemm),
+					"nongemm": float64(t.nonGemm),
+				},
+			}
+		},
+	}
+}
+
+// vitSweep runs the full (config x model) matrix through the engine
+// and returns the splits keyed by config then model name.
+func vitSweep(opt Options, id string, configs []core.Config, models []workload.ViTVariant) map[string]map[string]vitTimes {
+	var points []sweep.Point
+	for _, cfg := range configs {
+		for _, v := range models {
+			points = append(points, vitPoint(opt, cfg, v))
+		}
+	}
+	outs := opt.sweepAll(id, points)
+
+	times := map[string]map[string]vitTimes{}
+	i := 0
+	for _, cfg := range configs {
+		times[cfg.Name] = map[string]vitTimes{}
+		for _, v := range models {
+			times[cfg.Name][v.Name] = vitTimes{
+				config:  cfg.Name,
+				model:   v.Name,
+				gemm:    outs[i].Tick("gemm"),
+				nonGemm: outs[i].Tick("nongemm"),
+			}
+			i++
+		}
+	}
+	return times
 }
 
 // Fig7Transformer reproduces Fig. 7: end-to-end ViT inference time
@@ -116,13 +181,7 @@ func Fig7Transformer(opt Options) *Result {
 		Headers: []string{"config", "ViT-Base", "ViT-Large", "ViT-Huge", "speedup(Base)"},
 	}
 	models := workload.Variants()
-	times := map[string]map[string]vitTimes{}
-	for _, cfg := range vitConfigs() {
-		times[cfg.Name] = map[string]vitTimes{}
-		for _, v := range models {
-			times[cfg.Name][v.Name] = runViT(opt, cfg, v)
-		}
-	}
+	times := vitSweep(opt, "fig7", vitConfigs(), models)
 
 	base := times["PCIe-2GB"]
 	for _, cfg := range vitConfigs() {
@@ -150,9 +209,10 @@ func Fig8Split(opt Options) *Result {
 		Title:   "GEMM vs Non-GEMM runtime split (ViT-Base/Large/Huge)",
 		Headers: []string{"config", "model", "gemm_ms", "nongemm_ms", "nongemm_share"},
 	}
+	times := vitSweep(opt, "fig8", vitConfigs(), workload.Variants())
 	for _, cfg := range vitConfigs() {
 		for _, v := range workload.Variants() {
-			t := runViT(opt, cfg, v)
+			t := times[cfg.Name][v.Name]
 			r.AddRow(cfg.Name, v.Name,
 				fmt.Sprintf("%.2f", t.gemm.Seconds()*1e3),
 				fmt.Sprintf("%.2f", t.nonGemm.Seconds()*1e3),
@@ -160,8 +220,8 @@ func Fig8Split(opt Options) *Result {
 		}
 	}
 
-	dev := runViT(opt, core.DevMemCfg(), workload.ViTLarge)
-	pcie := runViT(opt, core.PCIe8GB(), workload.ViTLarge)
+	dev := times["DevMem"][workload.ViTLarge.Name]
+	pcie := times["PCIe-8GB"][workload.ViTLarge.Name]
 	gemmWin := float64(pcie.gemm) / float64(dev.gemm)
 	nonPenalty := float64(dev.nonGemm) / float64(pcie.nonGemm)
 	r.Note("paper: DevMem best at GEMM but up to 500%% Non-GEMM overhead vs PCIe systems (NUMA)")
@@ -179,9 +239,10 @@ func Fig9Model(opt Options) *Result {
 	}
 	m := analytic.Composition{}
 	configs := vitConfigs()
+	times := vitSweep(opt, "fig9", configs, []workload.ViTVariant{workload.ViTBase})
 	units := map[string]analytic.Config{}
 	for _, cfg := range configs {
-		t := runViT(opt, cfg, workload.ViTBase)
+		t := times[cfg.Name][workload.ViTBase.Name]
 		units[cfg.Name] = analytic.Config{
 			Name:     cfg.Name,
 			GEMMNs:   t.gemm.Nanoseconds(),

@@ -5,6 +5,7 @@ package mem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"accesys/internal/sim"
 )
@@ -61,13 +62,15 @@ func (c Cmd) ResponseFor() Cmd {
 	}
 }
 
-var nextPacketID uint64
+var nextPacketID atomic.Uint64
 
-// NextPacketID hands out process-unique packet identifiers. The
-// simulation is single-threaded, so a plain counter suffices.
+// NextPacketID hands out process-unique packet identifiers. Each
+// simulation is single-threaded, but the sweep engine runs many
+// systems in parallel, so the counter is atomic. IDs are diagnostic
+// labels only — they never influence timing or routing, so sharing
+// one counter across concurrent systems keeps results deterministic.
 func NextPacketID() uint64 {
-	nextPacketID++
-	return nextPacketID
+	return nextPacketID.Add(1)
 }
 
 // Packet is one memory transaction travelling through the system. A

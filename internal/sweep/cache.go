@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the on-disk result store. Entries are JSON files named by
+// the SHA-256 of their fingerprint; each records the full fingerprint
+// so hash collisions and stale or corrupt files read as misses rather
+// than wrong results. A Cache is safe for concurrent use by engine
+// workers and by multiple processes sharing one directory (writes are
+// staged to a temp file and renamed into place).
+type Cache struct {
+	dir string
+
+	// Salt, when non-empty, is mixed into every entry key so results
+	// from a different simulator build read as misses. Set it before
+	// first use — BinaryFingerprint gives a ready-made value.
+	Salt string
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+	errors int
+}
+
+// entry is the on-disk record format.
+type entry struct {
+	Fingerprint string  `json:"fingerprint"`
+	Outcome     Outcome `json:"outcome"`
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// OpenSalted opens the cache at dir salted with the running binary's
+// fingerprint — the standard configuration for tools: rebuilding the
+// simulator from different code invalidates prior entries instead of
+// silently serving stale results. It fails if the binary cannot be
+// fingerprinted, because an unsalted cache would lose that guarantee.
+func OpenSalted(dir string) (*Cache, error) {
+	cache, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	salt, err := BinaryFingerprint()
+	if err != nil {
+		return nil, err
+	}
+	cache.Salt = salt
+	return cache, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// key is the salted fingerprint entries are stored and compared
+// under; with a build-derived Salt, entries written by a different
+// simulator binary can never match.
+func (c *Cache) key(fingerprint string) string {
+	if c.Salt == "" {
+		return fingerprint
+	}
+	return c.Salt + "\x00" + fingerprint
+}
+
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the cached outcome for the fingerprint. Unreadable,
+// malformed, or mismatching entries count as misses; a mismatching or
+// malformed file additionally counts as an error and will be
+// overwritten by the next Put.
+func (c *Cache) Get(fingerprint string) (Outcome, bool) {
+	key := c.key(fingerprint)
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.count(&c.misses)
+		return Outcome{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Fingerprint != key {
+		c.count(&c.errors)
+		c.count(&c.misses)
+		return Outcome{}, false
+	}
+	c.count(&c.hits)
+	return e.Outcome, true
+}
+
+// Put stores the outcome under the fingerprint. Failures are recorded
+// in the error counter but otherwise ignored: a broken cache must
+// never break the sweep.
+func (c *Cache) Put(fingerprint string, out Outcome) {
+	key := c.key(fingerprint)
+	data, err := json.Marshal(entry{Fingerprint: key, Outcome: out})
+	if err != nil {
+		c.count(&c.errors)
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		c.count(&c.errors)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.count(&c.errors)
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		c.count(&c.errors)
+	}
+}
+
+func (c *Cache) count(field *int) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+// Stats reports hit, miss, and error counts since Open.
+func (c *Cache) Stats() (hits, misses, errors int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.errors
+}
+
+// BinaryFingerprint hashes the running executable, giving a cache
+// salt that changes whenever the simulator is rebuilt from different
+// code — cached results can then never outlive the build that
+// produced them.
+func BinaryFingerprint() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

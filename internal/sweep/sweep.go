@@ -1,0 +1,202 @@
+// Package sweep is the design-space exploration engine: it fans
+// independent simulation runs out over a worker pool, preserves
+// deterministic result ordering regardless of completion order, and
+// memoises completed runs in an on-disk cache keyed by a content hash
+// of each run's configuration.
+//
+// Every simulated system is single-threaded and self-contained (one
+// EventQueue, one stats registry), so independent runs parallelise
+// trivially; the engine only guarantees that the slice it returns is
+// ordered by declaration, never by completion.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accesys/internal/sim"
+)
+
+// fingerprintVersion salts every fingerprint; bump it to invalidate
+// all cached results when the encoding changes incompatibly.
+const fingerprintVersion = "sweep/v1"
+
+// Outcome is the recorded result of one sweep point: the primary
+// simulated duration plus any named secondary metrics (extracted
+// statistics). Outcomes must be plain data — they round-trip through
+// the JSON result cache.
+type Outcome struct {
+	Dur    sim.Tick           `json:"dur"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Value returns the named secondary metric, or 0 when absent.
+func (o Outcome) Value(name string) float64 { return o.Values[name] }
+
+// Tick returns the named secondary metric as a simulation time.
+func (o Outcome) Tick(name string) sim.Tick { return sim.Tick(o.Values[name]) }
+
+// Point is one run of a design-space sweep.
+type Point struct {
+	// Key labels the point in progress output; it should be unique
+	// within one sweep.
+	Key string
+	// Fingerprint is the content hash material identifying the run's
+	// full configuration; equal fingerprints mean interchangeable
+	// outcomes. Build it with Fingerprint. Empty disables caching for
+	// this point.
+	Fingerprint string
+	// Run executes the simulation and returns its outcome. It must be
+	// self-contained: engine workers invoke Run concurrently.
+	Run func() Outcome
+}
+
+// Result reports one completed point to the progress callback.
+type Result struct {
+	// Index is the point's position in the declared sweep.
+	Index int
+	// Key echoes the point's label.
+	Key string
+	// Outcome is the run's result.
+	Outcome Outcome
+	// Cached reports whether the outcome came from the result cache.
+	Cached bool
+	// Wall is the host-side execution time (zero for cache hits).
+	Wall time.Duration
+}
+
+// Engine executes sweeps. The zero value runs with one worker per CPU
+// and no cache.
+type Engine struct {
+	// Jobs bounds the worker pool; <= 0 means runtime.NumCPU().
+	Jobs int
+	// Cache memoises outcomes across processes; nil disables.
+	Cache *Cache
+	// OnResult, when non-nil, observes each completed point. Calls are
+	// serialised but arrive in completion order, not declaration order.
+	OnResult func(Result)
+
+	mu sync.Mutex
+}
+
+func (e *Engine) jobs() int {
+	if e.Jobs > 0 {
+		return e.Jobs
+	}
+	return runtime.NumCPU()
+}
+
+func (e *Engine) report(r Result) {
+	if e.OnResult == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.OnResult(r)
+}
+
+// runPoint executes (or recalls) one point, wrapping any panic with
+// the point's key so both execution paths report failures uniformly.
+func (e *Engine) runPoint(i int, p Point) Outcome {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(fmt.Sprintf("sweep: point %q panicked: %v", p.Key, r))
+		}
+	}()
+	if e.Cache != nil && p.Fingerprint != "" {
+		if out, ok := e.Cache.Get(p.Fingerprint); ok {
+			e.report(Result{Index: i, Key: p.Key, Outcome: out, Cached: true})
+			return out
+		}
+	}
+	start := time.Now()
+	out := p.Run()
+	if e.Cache != nil && p.Fingerprint != "" {
+		e.Cache.Put(p.Fingerprint, out)
+	}
+	e.report(Result{Index: i, Key: p.Key, Outcome: out, Wall: time.Since(start)})
+	return out
+}
+
+// Run executes every point and returns their outcomes in declaration
+// order. With Jobs > 1 points run concurrently; a panicking point is
+// re-raised on the calling goroutine, wrapped with the point's key
+// (only the first of several concurrent failures is reported).
+func (e *Engine) Run(points []Point) []Outcome {
+	outs := make([]Outcome, len(points))
+	workers := e.jobs()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for i, p := range points {
+			outs[i] = e.runPoint(i, p)
+		}
+		return outs
+	}
+
+	idx := make(chan int)
+	fail := make(chan any, len(points))
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if stopped.Load() {
+					continue // fail-fast: drain without running
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							stopped.Store(true)
+							fail <- r // already key-wrapped by runPoint
+						}
+					}()
+					outs[i] = e.runPoint(i, points[i])
+				}()
+			}
+		}()
+	}
+	for i := range points {
+		if stopped.Load() {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(fail)
+	if f, ok := <-fail; ok {
+		panic(f)
+	}
+	return outs
+}
+
+// Fingerprint canonically encodes the given parts (JSON, newline
+// separated, version salted) into cache-key material. Parts must be
+// JSON-encodable plain data — configuration structs, sizes, labels.
+// It panics on unencodable values, but note that JSON encodes
+// interface-typed fields by content only: two implementations that
+// marshal alike (e.g. both to "{}") would alias, so callers holding
+// interface-valued configuration must add a type tag part
+// (fmt.Sprintf("%T", v)) alongside the struct.
+func Fingerprint(parts ...any) string {
+	var sb strings.Builder
+	sb.WriteString(fingerprintVersion)
+	for _, p := range parts {
+		b, err := json.Marshal(p)
+		if err != nil {
+			panic(fmt.Sprintf("sweep: unencodable fingerprint part %T: %v", p, err))
+		}
+		sb.WriteByte('\n')
+		sb.Write(b)
+	}
+	return sb.String()
+}

@@ -1,0 +1,318 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accesys/internal/sim"
+)
+
+// slowPoints builds n points whose outcomes are derived from their
+// index; earlier points sleep longer so completion order inverts
+// declaration order under parallel execution.
+func slowPoints(n int, ran *atomic.Int64) []Point {
+	points := make([]Point, n)
+	for i := 0; i < n; i++ {
+		points[i] = Point{
+			Key:         fmt.Sprintf("p%d", i),
+			Fingerprint: Fingerprint("slow", i),
+			Run: func() Outcome {
+				if ran != nil {
+					ran.Add(1)
+				}
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return Outcome{
+					Dur:    sim.Tick(i + 1),
+					Values: map[string]float64{"idx": float64(i)},
+				}
+			},
+		}
+	}
+	return points
+}
+
+func TestRunPreservesDeclarationOrder(t *testing.T) {
+	points := slowPoints(16, nil)
+	outs := (&Engine{Jobs: 8}).Run(points)
+	if len(outs) != len(points) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(points))
+	}
+	for i, o := range outs {
+		if o.Dur != sim.Tick(i+1) || o.Value("idx") != float64(i) {
+			t.Fatalf("outs[%d] = %+v, not the declared point's outcome", i, o)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := (&Engine{Jobs: 1}).Run(slowPoints(12, nil))
+	par := (&Engine{Jobs: 6}).Run(slowPoints(12, nil))
+	for i := range seq {
+		if seq[i].Dur != par[i].Dur || seq[i].Value("idx") != par[i].Value("idx") {
+			t.Fatalf("outcome %d differs: sequential %+v parallel %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestOnResultSeesEveryPointOnce(t *testing.T) {
+	seen := make(map[int]int)
+	eng := &Engine{Jobs: 4, OnResult: func(r Result) { seen[r.Index]++ }}
+	eng.Run(slowPoints(10, nil))
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("point %d reported %d times", i, seen[i])
+		}
+	}
+}
+
+func TestRunPanicPropagatesWithKey(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			points := slowPoints(4, nil)
+			points[2].Run = func() Outcome { panic("boom") }
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("panic did not propagate")
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "p2") || !strings.Contains(msg, "boom") {
+					t.Fatalf("panic message %q missing point key or cause", msg)
+				}
+			}()
+			(&Engine{Jobs: jobs}).Run(points)
+		})
+	}
+}
+
+func TestParallelPanicFailsFast(t *testing.T) {
+	const n = 12
+	var ran atomic.Int64
+	points := make([]Point, n)
+	points[0] = Point{Key: "bad", Run: func() Outcome { panic("early failure") }}
+	for i := 1; i < n; i++ {
+		points[i] = Point{
+			Key: fmt.Sprintf("slow%d", i),
+			Run: func() Outcome {
+				ran.Add(1)
+				time.Sleep(30 * time.Millisecond)
+				return Outcome{Dur: 1}
+			},
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+		// Fail-fast: the failure aborts dispatch, so most of the
+		// remaining points never run (a couple may already be in
+		// flight or queued when the panic lands).
+		if got := ran.Load(); got > 4 {
+			t.Fatalf("%d of %d slow points ran after the failure; dispatch did not abort", got, n-1)
+		}
+	}()
+	(&Engine{Jobs: 2}).Run(points)
+}
+
+func TestOpenSaltedUsesBuildFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenSalted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Salt == "" {
+		t.Fatal("OpenSalted left the cache unsalted")
+	}
+	fp := Fingerprint("x")
+	a.Put(fp, Outcome{Dur: 3})
+	b, err := OpenSalted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := b.Get(fp); !ok || out.Dur != 3 {
+		t.Fatalf("same binary should share entries, got %+v %v", out, ok)
+	}
+	unsalted, _ := Open(dir)
+	if _, ok := unsalted.Get(fp); ok {
+		t.Fatal("unsalted cache must not see salted entries")
+	}
+}
+
+func TestSaltInvalidatesEntries(t *testing.T) {
+	dir := t.TempDir()
+	buildA, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildA.Salt = "build-a"
+	fp := Fingerprint("point")
+	buildA.Put(fp, Outcome{Dur: 9})
+
+	buildB, _ := Open(dir)
+	buildB.Salt = "build-b"
+	if _, ok := buildB.Get(fp); ok {
+		t.Fatal("entry from another build must read as a miss")
+	}
+	if out, ok := buildA.Get(fp); !ok || out.Dur != 9 {
+		t.Fatalf("same-build entry should hit, got %+v %v", out, ok)
+	}
+}
+
+func TestBinaryFingerprintStable(t *testing.T) {
+	a, err := BinaryFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BinaryFingerprint()
+	if err != nil || a != b {
+		t.Fatalf("fingerprint not stable within one process: %q vs %q (%v)", a, b, err)
+	}
+	if len(a) != 64 {
+		t.Fatalf("expected sha256 hex, got %q", a)
+	}
+}
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	a := Fingerprint("kind", cfg{1, "x"}, 64)
+	if a != Fingerprint("kind", cfg{1, "x"}, 64) {
+		t.Fatal("identical inputs gave different fingerprints")
+	}
+	for _, other := range []string{
+		Fingerprint("kind", cfg{2, "x"}, 64),
+		Fingerprint("kind", cfg{1, "y"}, 64),
+		Fingerprint("kind", cfg{1, "x"}, 128),
+		Fingerprint("other", cfg{1, "x"}, 64),
+	} {
+		if a == other {
+			t.Fatal("distinct inputs aliased to one fingerprint")
+		}
+	}
+}
+
+func TestFingerprintRejectsUnencodable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("func value should not fingerprint")
+		}
+	}()
+	Fingerprint(func() {})
+}
+
+func TestCacheHitSkipsRuns(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ran atomic.Int64
+	cold := (&Engine{Jobs: 4, Cache: cache}).Run(slowPoints(8, &ran))
+	if ran.Load() != 8 {
+		t.Fatalf("cold run executed %d points, want 8", ran.Load())
+	}
+
+	ran.Store(0)
+	var cached int
+	eng := &Engine{Jobs: 4, Cache: cache, OnResult: func(r Result) {
+		if r.Cached {
+			cached++
+		}
+	}}
+	warm := eng.Run(slowPoints(8, &ran))
+	if ran.Load() != 0 {
+		t.Fatalf("warm run executed %d points, want 0", ran.Load())
+	}
+	if cached != 8 {
+		t.Fatalf("warm run reported %d cache hits, want 8", cached)
+	}
+	for i := range cold {
+		if cold[i].Dur != warm[i].Dur || cold[i].Value("idx") != warm[i].Value("idx") {
+			t.Fatalf("cached outcome %d differs: %+v vs %+v", i, cold[i], warm[i])
+		}
+	}
+	hits, misses, errors := cache.Stats()
+	if hits != 8 || misses != 8 || errors != 0 {
+		t.Fatalf("stats = %d hits %d misses %d errors, want 8/8/0", hits, misses, errors)
+	}
+}
+
+func TestCacheMissOnDifferentFingerprint(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(Fingerprint("a"), Outcome{Dur: 1})
+	if _, ok := cache.Get(Fingerprint("b")); ok {
+		t.Fatal("different fingerprint should miss")
+	}
+	if out, ok := cache.Get(Fingerprint("a")); !ok || out.Dur != 1 {
+		t.Fatalf("stored fingerprint should hit, got %+v %v", out, ok)
+	}
+}
+
+func TestCacheCorruptEntryReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint("corrupt-me")
+	cache.Put(fp, Outcome{Dur: 42})
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one cache entry, got %v (%v)", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("corrupt entry must read as a miss")
+	}
+	if _, _, errors := cache.Stats(); errors == 0 {
+		t.Fatal("corruption should be counted as an error")
+	}
+
+	// A fingerprint-mismatching file (hash collision, stale rename) is
+	// equally a miss, and Put repairs it.
+	if err := os.WriteFile(entries[0],
+		[]byte(`{"fingerprint":"someone else","outcome":{"dur":7}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("mismatching fingerprint must read as a miss")
+	}
+	cache.Put(fp, Outcome{Dur: 42})
+	if out, ok := cache.Get(fp); !ok || out.Dur != 42 {
+		t.Fatalf("Put did not repair the entry: %+v %v", out, ok)
+	}
+}
+
+func TestEmptyFingerprintBypassesCache(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	p := Point{Key: "uncacheable", Run: func() Outcome {
+		ran.Add(1)
+		return Outcome{Dur: 5}
+	}}
+	eng := &Engine{Jobs: 1, Cache: cache}
+	eng.Run([]Point{p})
+	eng.Run([]Point{p})
+	if ran.Load() != 2 {
+		t.Fatalf("uncacheable point ran %d times, want 2", ran.Load())
+	}
+	if hits, _, _ := cache.Stats(); hits != 0 {
+		t.Fatalf("cache recorded %d hits for uncacheable point", hits)
+	}
+}
