@@ -1,15 +1,19 @@
 # AcceSys build and CI entry points.
 #
-#   make ci      - what CI runs: vet + race-enabled tests
-#   make test    - fast test pass
-#   make race    - full test pass under the race detector (exercises
-#                  the sweep worker pool with concurrent simulations)
-#   make bench   - one pass over the benchmark harness
-#   make figures - regenerate every paper artifact (parallel, cached)
+#   make ci       - what CI runs: lint + vet + race-enabled tests +
+#                   example builds + a manifest sweep smoke run
+#   make lint     - gofmt gate (fails listing unformatted files)
+#   make test     - fast test pass
+#   make race     - full test pass under the race detector (exercises
+#                   the sweep worker pool with concurrent simulations)
+#   make examples - compile every example and command
+#   make smoke    - run a tiny manifest through `accesys sweep`
+#   make bench    - one pass over the benchmark harness
+#   make figures  - regenerate every paper artifact (parallel, cached)
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench figures clean
+.PHONY: all build vet lint test race examples smoke ci bench figures clean
 
 all: build
 
@@ -19,19 +23,33 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-ci: vet race
+# go test only compiles packages it tests; examples and commands have
+# no test files, so CI builds them explicitly.
+examples:
+	$(GO) build ./examples/... ./cmd/...
+
+smoke:
+	$(GO) run ./cmd/accesys sweep -nocache -jobs 2 testdata/smoke.json
+
+ci: lint vet race examples smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 
 figures: build
-	$(GO) run ./cmd/accesys -v
+	$(GO) run ./cmd/accesys run -v
 
 clean:
 	$(GO) clean ./...

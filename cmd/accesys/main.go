@@ -1,17 +1,37 @@
-// Command accesys regenerates the paper's evaluation artifacts.
+// Command accesys regenerates the paper's evaluation artifacts and
+// runs manifest-driven sweeps.
 //
 // Usage:
 //
-//	accesys [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]
+//	accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]
+//	accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...
+//	accesys cachestats [-cache dir] [-gc] [-maxage d] [-maxentries n]
+//	accesys list
 //
-// With no arguments every experiment runs in paper order. Experiment
-// ids: fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9.
+// Invoking accesys without a subcommand behaves like `accesys run`
+// (the historical interface), so `accesys -full fig4` keeps working.
 //
-// Each experiment's run matrix executes on the sweep engine: -jobs
+// run executes built-in experiments in paper order (all of them by
+// default). Experiment ids: fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8
+// fig9.
+//
+// sweep loads declarative scenario manifests (JSON; see README.md
+// "Manifest-driven sweeps" for the schema) and runs their matrices —
+// new scenario matrices need no new Go. A manifest encoding of a
+// built-in matrix emits rows byte-identical to the built-in
+// experiment, because both reach the same renderer.
+//
+// Every run matrix executes on the parallel sweep engine: -jobs
 // bounds the worker pool (default: all CPUs) and completed runs are
 // memoised in an on-disk cache keyed by the run's full configuration,
 // so repeated invocations skip untouched design points. Parallel and
-// sequential execution produce identical rows.
+// sequential execution produce identical rows. With -v each completed
+// point prints a k/n progress line with an ETA derived from measured
+// per-point wall times.
+//
+// cachestats reports the result cache's on-disk footprint (entries,
+// bytes) and cumulative hit/miss/error counters, and with -gc evicts
+// entries by age (-maxage) and count (-maxentries).
 package main
 
 import (
@@ -24,6 +44,7 @@ import (
 	"time"
 
 	"accesys/internal/exp"
+	"accesys/internal/scenario"
 	"accesys/internal/sweep"
 )
 
@@ -36,56 +57,223 @@ func defaultCacheDir() string {
 	return ".accesys-cache"
 }
 
-func main() {
-	full := flag.Bool("full", false, "run paper-scale matrix sizes (2048); slower")
-	verbose := flag.Bool("v", false, "stream per-run progress")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers per experiment")
-	cacheDir := flag.String("cache", defaultCacheDir(), "result cache directory")
-	noCache := flag.Bool("nocache", false, "disable the on-disk result cache")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: accesys [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: %s (default: all)\n", strings.Join(exp.IDs(), " "))
-		flag.PrintDefaults()
-	}
-	flag.Parse()
+// sweepFlags are the execution flags shared by run and sweep.
+type sweepFlags struct {
+	full    *bool
+	verbose *bool
+	jobs    *int
+	cache   *string
+	nocache *bool
+}
 
-	if *list {
-		for _, id := range exp.IDs() {
-			fmt.Println(id)
-		}
-		return
+func addSweepFlags(fs *flag.FlagSet) *sweepFlags {
+	return &sweepFlags{
+		full:    fs.Bool("full", false, "run paper-scale matrix sizes (2048); slower"),
+		verbose: fs.Bool("v", false, "stream per-run progress with completion counts and ETA"),
+		jobs:    fs.Int("jobs", runtime.NumCPU(), "parallel simulation workers per experiment"),
+		cache:   fs.String("cache", defaultCacheDir(), "result cache directory"),
+		nocache: fs.Bool("nocache", false, "disable the on-disk result cache"),
 	}
+}
 
-	opt := exp.Options{Full: *full, Verbose: *verbose, Out: os.Stderr, Jobs: *jobs}
-	if !*noCache {
-		cache, err := sweep.OpenSalted(*cacheDir)
+// options opens the cache (unless disabled) and assembles the shared
+// execution options.
+func (f *sweepFlags) options() scenario.Options {
+	opt := scenario.Options{Full: *f.full, Verbose: *f.verbose, Out: os.Stderr, Jobs: *f.jobs}
+	if !*f.nocache {
+		cache, err := sweep.OpenSalted(*f.cache)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "accesys: result cache disabled: %v\n", err)
 		} else {
 			opt.Cache = cache
 		}
 	}
+	return opt
+}
 
-	ids := flag.Args()
+// finish folds this process's cache counters into the persisted totals
+// (backing `accesys cachestats`) and reports them when verbose.
+func finish(opt scenario.Options) {
+	if opt.Cache == nil {
+		return
+	}
+	hits, misses, errors := opt.Cache.Stats()
+	if opt.Verbose {
+		fmt.Fprintf(os.Stderr, "accesys: cache %s: %d hits, %d misses, %d errors\n",
+			opt.Cache.Dir(), hits, misses, errors)
+	}
+	if err := opt.Cache.FlushCounters(); err != nil {
+		fmt.Fprintf(os.Stderr, "accesys: persisting cache counters: %v\n", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "accesys: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	f := addSweepFlags(fs)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s (default: all)\n", strings.Join(exp.IDs(), " "))
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *list {
+		cmdList(nil)
+		return
+	}
+
+	opt := f.options()
+	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = exp.IDs()
 	}
 	for _, id := range ids {
-		f, ok := exp.ByID(id)
+		expf, ok := exp.ByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "accesys: unknown experiment %q (want one of %s)\n",
-				id, strings.Join(exp.IDs(), " "))
-			os.Exit(2)
+			fatalf("unknown experiment %q (want one of %s)", id, strings.Join(exp.IDs(), " "))
 		}
 		start := time.Now()
-		res := f(opt)
+		res := expf(opt)
 		res.Note("wall time: %.1fs", time.Since(start).Seconds())
 		res.Fprint(os.Stdout)
 	}
-	if opt.Cache != nil && *verbose {
-		hits, misses, errors := opt.Cache.Stats()
-		fmt.Fprintf(os.Stderr, "accesys: cache %s: %d hits, %d misses, %d errors\n",
-			opt.Cache.Dir(), hits, misses, errors)
+	finish(opt)
+}
+
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	f := addSweepFlags(fs)
+	csvPath := fs.String("csv", "", "also write the table as CSV to this file (single manifest only)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...\n")
+		fs.PrintDefaults()
 	}
+	fs.Parse(args)
+
+	manifests := fs.Args()
+	if len(manifests) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *csvPath != "" && len(manifests) != 1 {
+		fatalf("-csv needs exactly one manifest, have %d", len(manifests))
+	}
+
+	opt := f.options()
+	for _, path := range manifests {
+		sc, err := scenario.Load(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		start := time.Now()
+		res, err := sc.Run(opt)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res.Note("wall time: %.1fs", time.Since(start).Seconds())
+		res.Fprint(os.Stdout)
+		if *csvPath != "" {
+			w, err := os.Create(*csvPath)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := res.WriteCSV(w); err != nil {
+				fatalf("writing %s: %v", *csvPath, err)
+			}
+			if err := w.Close(); err != nil {
+				fatalf("writing %s: %v", *csvPath, err)
+			}
+		}
+	}
+	finish(opt)
+}
+
+func cmdCachestats(args []string) {
+	fs := flag.NewFlagSet("cachestats", flag.ExitOnError)
+	dir := fs.String("cache", defaultCacheDir(), "result cache directory")
+	gc := fs.Bool("gc", false, "evict entries by age and count")
+	maxAge := fs.Duration("maxage", 30*24*time.Hour, "with -gc: evict entries older than this (0 = no age bound)")
+	maxEntries := fs.Int("maxentries", 0, "with -gc: keep at most this many newest entries (0 = unbounded)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: accesys cachestats [-cache dir] [-gc] [-maxage d] [-maxentries n]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	// Open unsalted: inspection and GC span entries from every binary
+	// that ever shared the directory.
+	cache, err := sweep.Open(*dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *gc {
+		res, err := cache.GC(*maxAge, *maxEntries)
+		if err != nil {
+			fatalf("gc: %v", err)
+		}
+		fmt.Printf("gc: scanned %d entries, evicted %d (%d bytes), removed %d stale temp files\n",
+			res.Scanned, res.Evicted, res.EvictedBytes, res.Temps)
+	}
+
+	entries, bytes, err := cache.Usage()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	counters, err := cache.Counters()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("cache %s\n", cache.Dir())
+	fmt.Printf("  entries: %d\n", entries)
+	fmt.Printf("  bytes:   %d\n", bytes)
+	fmt.Printf("  hits:    %d\n", counters.Hits)
+	fmt.Printf("  misses:  %d\n", counters.Misses)
+	fmt.Printf("  errors:  %d\n", counters.Errors)
+}
+
+func cmdList(args []string) {
+	if len(args) != 0 {
+		fatalf("list takes no arguments")
+	}
+	for _, id := range exp.IDs() {
+		fmt.Println(id)
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			cmdRun(args[1:])
+			return
+		case "sweep":
+			cmdSweep(args[1:])
+			return
+		case "cachestats":
+			cmdCachestats(args[1:])
+			return
+		case "list":
+			cmdList(args[1:])
+			return
+		case "help", "-h", "-help", "--help":
+			fmt.Fprintf(os.Stderr, "usage: accesys [run|sweep|cachestats|list] ...\n")
+			fmt.Fprintf(os.Stderr, "run 'accesys <command> -h' for command flags; a bare flag list runs `run`\n")
+			os.Exit(2)
+		}
+	}
+	// Historical interface: flags and experiment ids without a
+	// subcommand behave like `run`.
+	cmdRun(args)
 }

@@ -3,10 +3,11 @@
 // configuration within a target of the best performance — the
 // "balanced performance and cost" co-design flow the paper motivates.
 //
-// The sweep fans out over the parallel sweep engine: all 25 design
-// points run concurrently (-jobs bounds the pool) and -cache memoises
-// finished points on disk so iterating on the cost model or target is
-// instant.
+// The matrix is declared programmatically through the scenario layer
+// (the same model `accesys sweep` loads from JSON manifests) and fans
+// out over the parallel sweep engine: all 25 design points run
+// concurrently (-jobs bounds the pool) and -cache memoises finished
+// points on disk so iterating on the cost model or target is instant.
 //
 //	go run ./examples/designsweep [-n 512] [-target 0.85] [-jobs N] [-cache dir]
 package main
@@ -16,23 +17,19 @@ import (
 	"fmt"
 	"os"
 
-	"accesys/internal/core"
-	"accesys/internal/dram"
-	"accesys/internal/driver"
-	"accesys/internal/exp"
-	"accesys/internal/pcie"
+	"accesys/internal/scenario"
 	"accesys/internal/sim"
 	"accesys/internal/sweep"
 )
 
 // relCost is a toy bill-of-materials weight per design point: wider
 // and faster links and exotic memories cost more.
-func relCost(gbps float64, spec dram.Spec) float64 {
+func relCost(gbps float64, spec string) float64 {
 	memCost := map[string]float64{
 		"DDR3-1600": 1.0, "DDR4-2400": 1.3, "DDR5-3200": 1.8,
 		"GDDR5-2000": 2.5, "HBM2-2000": 5.0, "LPDDR5-6400": 1.6,
 	}
-	return gbps/4 + memCost[spec.Name]
+	return gbps/4 + memCost[spec]
 }
 
 func main() {
@@ -43,7 +40,36 @@ func main() {
 	flag.Parse()
 
 	links := []float64{2, 8, 16, 32, 64}
-	specs := []dram.Spec{dram.DDR3_1600, dram.DDR4_2400, dram.DDR5_3200, dram.GDDR5_2000, dram.HBM2_2000}
+	specs := []string{"DDR3-1600", "DDR4-2400", "DDR5-3200", "GDDR5-2000", "HBM2-2000"}
+
+	// Declare the matrix: link bandwidth (outer) x host memory
+	// technology (inner). This could equally be a JSON manifest run
+	// with `accesys sweep`; here the cost model needs the raw
+	// outcomes, so the sweep runs programmatically.
+	linkVals := make([]scenario.Value, len(links))
+	for i, gbps := range links {
+		linkVals[i] = map[string]any{"gbps": gbps, "lanes": 16.0}
+	}
+	specVals := make([]scenario.Value, len(specs))
+	for i, s := range specs {
+		specVals[i] = s
+	}
+	sc := &scenario.Scenario{
+		Name:     "dse",
+		Title:    "PCIe bandwidth x host memory, GEMM %d",
+		Base:     "pcie8gb",
+		Workload: scenario.Workload{Kind: "gemm", N: scenario.Size{Quick: *n, Full: *n}},
+		Axes: []scenario.Axis{
+			{Name: "link", Values: linkVals},
+			{Name: "hostmem", Values: specVals},
+		},
+	}
+	runs, err := sc.Expand(false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designsweep:", err)
+		os.Exit(1)
+	}
+	points := sc.Points(runs)
 
 	eng := &sweep.Engine{Jobs: *jobs}
 	if *cacheDir != "" {
@@ -54,53 +80,16 @@ func main() {
 			eng.Cache = cache
 		}
 	}
-
-	var points []sweep.Point
-	for _, gbps := range links {
-		for _, spec := range specs {
-			cfg := core.PCIe8GB()
-			cfg.Name = fmt.Sprintf("dse-%g-%s", gbps, spec.Name)
-			cfg.PCIe = pcie.Config{Link: pcie.LinkForGBps(gbps, 16)}
-			cfg.HostSpec = spec
-			points = append(points, sweep.Point{
-				Key:         cfg.Name,
-				Fingerprint: sweep.Fingerprint("designsweep", cfg, *n),
-				Run: func() sweep.Outcome {
-					sys, drv := exp.BuildSystem(cfg)
-					var d sim.Tick
-					done := false
-					drv.RunGEMM(driver.GEMMSpec{M: *n, N: *n, K: *n}, func(r driver.Result) {
-						d = r.Job.Duration()
-						done = true
-					})
-					sys.Run()
-					if !done {
-						panic(fmt.Sprintf("designsweep: GEMM under %s never completed", cfg.Name))
-					}
-					return sweep.Outcome{Dur: d}
-				},
-			})
-		}
-	}
-
-	// Stream per-point progress to stderr so long sweeps don't look
-	// hung; OnResult calls are serialised by the engine.
-	done := 0
-	eng.OnResult = func(r sweep.Result) {
-		done++
-		tag := ""
-		if r.Cached {
-			tag = " (cached)"
-		}
-		fmt.Fprintf(os.Stderr, "  [%2d/%d] %-22s %v%s\n", done, len(points), r.Key, r.Outcome.Dur, tag)
-	}
+	// Stream per-point progress with an ETA to stderr so long sweeps
+	// don't look hung.
+	eng.OnResult = sweep.NewProgress(os.Stderr, "dse", len(points), eng.Workers(len(points))).Observe
 
 	fmt.Printf("sweeping %d design points (GEMM %d)...\n\n", len(points), *n)
 	outs := eng.Run(points)
 
 	type point struct {
 		gbps float64
-		spec dram.Spec
+		spec string
 		time sim.Tick
 		cost float64
 	}
@@ -109,7 +98,7 @@ func main() {
 
 	fmt.Printf("%-8s", "GB/s")
 	for _, s := range specs {
-		fmt.Printf("  %-12s", s.Name)
+		fmt.Printf("  %-12s", s)
 	}
 	fmt.Println()
 	for li, gbps := range links {
@@ -136,6 +125,11 @@ func main() {
 		}
 	}
 	fmt.Printf("\nbest time: %v\n", best)
+	if pick == nil {
+		fmt.Printf("no design point reaches %.0f%% of best performance (-target above 1 is unsatisfiable)\n",
+			*target*100)
+		return
+	}
 	fmt.Printf("recommendation (>= %.0f%% of best, lowest cost): %g GB/s PCIe + %s (%v, cost %.1f)\n",
-		*target*100, pick.gbps, pick.spec.Name, pick.time, pick.cost)
+		*target*100, pick.gbps, pick.spec, pick.time, pick.cost)
 }

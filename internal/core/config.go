@@ -6,6 +6,8 @@
 package core
 
 import (
+	"fmt"
+
 	"accesys/internal/accel"
 	"accesys/internal/dma"
 	"accesys/internal/dram"
@@ -166,6 +168,19 @@ func (c *Config) setDefaults() {
 	if c.Access == DM {
 		c.Accel.HostDMA.Uncacheable = true
 	}
+}
+
+// FingerprintParts returns the canonical cache-key material for the
+// config: the struct itself plus a type tag for every interface-valued
+// field. JSON encodes interfaces by content only, so two Backend
+// implementations that marshal alike (e.g. both to "{}") would
+// otherwise alias in the sweep result cache; baking the %T tag in here
+// gives every current and future caller the rule automatically.
+// Append these parts to the workload identity, e.g.
+//
+//	sweep.Fingerprint(append([]any{"gemm", n}, cfg.FingerprintParts()...)...)
+func (c Config) FingerprintParts() []any {
+	return []any{c, fmt.Sprintf("%T", c.Accel.Backend)}
 }
 
 // HostRange returns the host DRAM window.

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"accesys/internal/core"
+	"accesys/internal/scenario"
 	"accesys/internal/sweep"
 )
 
@@ -19,12 +20,12 @@ import (
 func miniPoints() []sweep.Point {
 	var points []sweep.Point
 	for _, cfg := range []core.Config{core.PCIe2GB(), core.PCIe8GB(), core.PCIe64GB(), core.DevMemCfg()} {
-		points = append(points, gemmPoint(cfg, 64, nil))
+		points = append(points, scenario.GEMMPoint(cfg, 64, nil))
 	}
 	bypass := core.PCIe8GB()
 	bypass.Name = "mini-bypass"
 	bypass.SMMU.Bypass = true
-	points = append(points, gemmPoint(bypass, 64, nil))
+	points = append(points, scenario.GEMMPoint(bypass, 64, nil))
 	return points
 }
 
@@ -40,7 +41,7 @@ func render(outs []sweep.Outcome) []byte {
 
 func TestSameConfigTwiceIsByteIdentical(t *testing.T) {
 	run := func() ([]byte, []byte) {
-		d, sys, _ := timeGEMM(core.PCIe8GB(), 64)
+		d, sys, _ := scenario.TimeGEMM(core.PCIe8GB(), 64)
 		var stats bytes.Buffer
 		if err := sys.Stats.Dump(&stats); err != nil {
 			t.Fatal(err)
@@ -58,8 +59,8 @@ func TestSameConfigTwiceIsByteIdentical(t *testing.T) {
 }
 
 func TestParallelSweepMatchesSequential(t *testing.T) {
-	seq := Options{Jobs: 1}.sweepAll("det-seq", miniPoints())
-	par := Options{Jobs: 8}.sweepAll("det-par", miniPoints())
+	seq := Options{Jobs: 1}.Sweep("det-seq", miniPoints())
+	par := Options{Jobs: 8}.Sweep("det-par", miniPoints())
 	if !bytes.Equal(render(seq), render(par)) {
 		t.Fatalf("parallel rows differ from sequential:\n%s---\n%s", render(seq), render(par))
 	}
@@ -70,11 +71,11 @@ func TestCachedSweepMatchesFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh := Options{Jobs: 4, Cache: cache}.sweepAll("det-cold", miniPoints())
+	fresh := Options{Jobs: 4, Cache: cache}.Sweep("det-cold", miniPoints())
 	if hits, misses, _ := cache.Stats(); hits != 0 || misses != len(miniPoints()) {
 		t.Fatalf("cold run: %d hits %d misses", hits, misses)
 	}
-	warm := Options{Jobs: 4, Cache: cache}.sweepAll("det-warm", miniPoints())
+	warm := Options{Jobs: 4, Cache: cache}.Sweep("det-warm", miniPoints())
 	if hits, _, _ := cache.Stats(); hits != len(miniPoints()) {
 		t.Fatalf("warm run hit %d of %d points", hits, len(miniPoints()))
 	}
@@ -84,8 +85,8 @@ func TestCachedSweepMatchesFresh(t *testing.T) {
 }
 
 func TestViTSimulationDeterministic(t *testing.T) {
-	a := simViT(core.PCIe8GB(), miniViT)
-	b := simViT(core.PCIe8GB(), miniViT)
+	a := scenario.SimViT(core.PCIe8GB(), miniViT)
+	b := scenario.SimViT(core.PCIe8GB(), miniViT)
 	if a != b {
 		t.Fatalf("identical ViT runs differ: %+v vs %+v", a, b)
 	}
@@ -97,8 +98,8 @@ func TestExperimentDeterministicUnderJobs(t *testing.T) {
 	}
 	// Tab4's smallest sizes exercise the stats-extraction path (Values
 	// round-tripping) as well as plain durations.
-	seqRes := tab4Mini(Options{Jobs: 1})
-	parRes := tab4Mini(Options{Jobs: 8})
+	seqRes := tab4Mini(t, Options{Jobs: 1})
+	parRes := tab4Mini(t, Options{Jobs: 8})
 	var seqBuf, parBuf bytes.Buffer
 	seqRes.Fprint(&seqBuf)
 	parRes.Fprint(&parBuf)
@@ -107,13 +108,29 @@ func TestExperimentDeterministicUnderJobs(t *testing.T) {
 	}
 }
 
-// tab4Mini runs the Table IV point pair at n=64 through the same
-// extraction closure the real experiment uses.
-func tab4Mini(opt Options) *Result {
-	r := &Result{ID: "tab4mini", Title: "mini", Headers: []string{"metric", "64"}}
-	points := tab4Points([]int{64})
-	outs := opt.sweepAll("tab4mini", points)
+// tab4Mini runs the Table IV point pair at n=64 through a
+// programmatically built scenario using the same extraction groups the
+// real experiment declares.
+func tab4Mini(t *testing.T, opt Options) *Result {
+	t.Helper()
+	sc := &scenario.Scenario{
+		Name:     "tab4mini",
+		Title:    "mini",
+		Base:     "pcie8gb",
+		Workload: scenario.Workload{Kind: "gemm"},
+		Axes: []scenario.Axis{
+			{Name: "size", Values: []scenario.Value{64}},
+			{Name: "smmu_bypass", Values: []scenario.Value{false, true}},
+		},
+		Metrics: []string{"pages", "smmu"},
+	}
+	runs, err := sc.Expand(opt.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := opt.Sweep("tab4mini", sc.Points(runs))
 	trans, bypass := outs[0], outs[1]
+	r := &Result{ID: "tab4mini", Title: "mini", Headers: []string{"metric", "64"}}
 	r.AddRow("pages", fmt.Sprintf("%d", int(trans.Value("pages"))))
 	r.AddRow("translations", fmt.Sprintf("%.0f", trans.Value("translations")))
 	r.AddRow("overhead", fmt.Sprintf("%.2f%%",

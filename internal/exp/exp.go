@@ -1,177 +1,42 @@
 // Package exp regenerates every table and figure of the paper's
-// evaluation (Section V): each experiment builds full systems, runs
-// the sweep, and emits the same rows/series the paper reports, plus a
-// shape check verifying the qualitative claim (who wins, where the
-// knees/crossovers fall).
+// evaluation (Section V). Each experiment's run matrix is declared as
+// a scenario value in internal/scenario's built-in registry; this
+// package fans the matrix out over the sweep engine and adds the
+// figure-specific row shaping plus a shape check verifying the
+// qualitative claim (who wins, where the knees/crossovers fall).
 package exp
 
 import (
-	"fmt"
-	"io"
-	"strings"
-
 	"accesys/internal/core"
 	"accesys/internal/driver"
-	"accesys/internal/sim"
+	"accesys/internal/scenario"
 	"accesys/internal/sweep"
 )
 
-// Options tune experiment scale and execution.
-type Options struct {
-	// Full runs paper-scale matrix sizes (2048); otherwise reduced
-	// sizes keep runtimes interactive.
-	Full bool
-	// Verbose streams per-run progress lines to Out.
-	Verbose bool
-	// Out receives progress output (default: discard).
-	Out io.Writer
-	// Jobs bounds each experiment's sweep worker pool; <= 0 runs one
-	// worker per CPU. Results are ordering-deterministic regardless.
-	Jobs int
-	// Cache, when non-nil, memoises completed runs on disk so repeated
-	// invocations skip untouched design points.
-	Cache *sweep.Cache
-}
+// Options tune experiment scale and execution; see scenario.Options.
+type Options = scenario.Options
 
-func (o Options) size(quick, full int) int {
-	if o.Full {
-		return full
-	}
-	return quick
-}
-
-func (o Options) logf(format string, args ...any) {
-	if o.Verbose && o.Out != nil {
-		fmt.Fprintf(o.Out, format, args...)
-	}
-}
-
-// Result is one regenerated table/figure.
-type Result struct {
-	ID      string
-	Title   string
-	Headers []string
-	Rows    [][]string
-	Notes   []string
-}
-
-// AddRow appends a formatted row.
-func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
-
-// Note appends a free-text note (shape checks, caveats).
-func (r *Result) Note(format string, args ...any) {
-	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
-}
-
-// Fprint renders the result as an aligned text table.
-func (r *Result) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
-	widths := make([]int, len(r.Headers))
-	for i, h := range r.Headers {
-		widths[i] = len(h)
-	}
-	for _, row := range r.Rows {
-		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			if i < len(widths) {
-				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
-			} else {
-				parts[i] = c
-			}
-		}
-		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
-	}
-	line(r.Headers)
-	for _, row := range r.Rows {
-		line(row)
-	}
-	for _, n := range r.Notes {
-		fmt.Fprintf(w, "  # %s\n", n)
-	}
-	fmt.Fprintln(w)
-}
+// Result is one regenerated table/figure; see scenario.Result.
+type Result = scenario.Result
 
 // BuildSystem assembles a system together with its kernel driver, the
 // standard front door for examples and experiments.
 func BuildSystem(cfg core.Config) (*core.System, *driver.Driver) {
-	sys := core.Build(cfg)
-	dcfg := driver.Config{
-		DMMode:     sys.Cfg.Access == core.DM,
-		DevMemMode: sys.Cfg.Access == core.DevMem,
-		NoIOMMU:    sys.Cfg.SMMU.Bypass,
-	}
-	drv := driver.New(sys.Cfg.Name+".driver", sys.EQ, sys.Stats, driver.Deps{
-		EQ:        sys.EQ,
-		MMIO:      sys.AttachHostPort("driver"),
-		FuncHost:  sys.FuncHost(),
-		FuncDev:   sys.FuncDev(),
-		SMMU:      sys.SMMU,
-		Accel:     sys.Accel,
-		BARBase:   core.BARBase,
-		HostRange: sys.Cfg.HostRange(),
-		DevRange:  sys.Cfg.DevRange(),
-		IOVABase:  core.IOVABase,
-		Flush:     sys.FlushCaches,
-	}, dcfg)
-	return sys, drv
+	return scenario.BuildSystem(cfg)
 }
 
-// sweepAll fans the experiment's points out over the engine and
-// returns their outcomes in declaration order, streaming per-run
-// progress when the options ask for it.
-func (o Options) sweepAll(id string, points []sweep.Point) []sweep.Outcome {
-	eng := &sweep.Engine{Jobs: o.Jobs, Cache: o.Cache}
-	if o.Verbose && o.Out != nil {
-		eng.OnResult = func(r sweep.Result) {
-			if r.Cached {
-				o.logf("%s: %s -> %v (cached)\n", id, r.Key, r.Outcome.Dur)
-				return
-			}
-			o.logf("%s: %s -> %v (%.1fs wall)\n", id, r.Key, r.Outcome.Dur, r.Wall.Seconds())
-		}
+// sweep expands the named built-in scenario for the options' scale,
+// sweeps it, and returns the resolved runs with their outcomes in
+// declaration order.
+func sweepScenario(opt Options, id string) (*scenario.Scenario, []scenario.Run, []sweep.Outcome) {
+	sc := scenario.MustBuiltin(id)
+	runs, err := sc.Expand(opt.Full)
+	if err != nil {
+		// Built-in scenarios are validated by tests; a failure here is
+		// a programming error.
+		panic(err)
 	}
-	return eng.Run(points)
-}
-
-// gemmPoint wraps one timing-only n^3 GEMM under cfg as a sweep
-// point. extract, when non-nil, pulls named metrics out of the
-// finished system into the outcome (so they survive the result cache).
-func gemmPoint(cfg core.Config, n int, extract func(*core.System, driver.Result) map[string]float64) sweep.Point {
-	return sweep.Point{
-		Key: cfg.Name,
-		// The backend type tag keeps configs with interface-valued
-		// backends that marshal alike from aliasing in the cache.
-		Fingerprint: sweep.Fingerprint("gemm", cfg, n, fmt.Sprintf("%T", cfg.Accel.Backend)),
-		Run: func() sweep.Outcome {
-			d, sys, res := timeGEMM(cfg, n)
-			out := sweep.Outcome{Dur: d}
-			if extract != nil {
-				out.Values = extract(sys, res)
-			}
-			return out
-		},
-	}
-}
-
-// timeGEMM builds the config, runs one timing-only n^3 GEMM, and
-// returns the accelerator-visible duration plus the system for stats
-// inspection.
-func timeGEMM(cfg core.Config, n int) (sim.Tick, *core.System, driver.Result) {
-	sys, drv := BuildSystem(cfg)
-	var res driver.Result
-	drv.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n}, func(r driver.Result) { res = r })
-	sys.Run()
-	if res.Completed == 0 {
-		panic(fmt.Sprintf("exp: GEMM under %s never completed", cfg.Name))
-	}
-	return res.Job.Duration(), sys, res
+	return sc, runs, opt.Sweep(sc.Name, sc.Points(runs))
 }
 
 // All runs every experiment in paper order.

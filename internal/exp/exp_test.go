@@ -6,6 +6,7 @@ import (
 
 	"accesys/internal/core"
 	"accesys/internal/driver"
+	"accesys/internal/scenario"
 	"accesys/internal/sim"
 	"accesys/internal/workload"
 )
@@ -14,6 +15,9 @@ func TestIDsResolve(t *testing.T) {
 	for _, id := range IDs() {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("experiment %q does not resolve", id)
+		}
+		if _, ok := scenario.Builtin(id); !ok {
+			t.Fatalf("experiment %q has no built-in scenario", id)
 		}
 	}
 	if _, ok := ByID("nope"); ok {
@@ -41,7 +45,7 @@ func TestResultFprint(t *testing.T) {
 
 func TestTimeGEMMAcrossConfigs(t *testing.T) {
 	for _, cfg := range []core.Config{core.PCIe2GB(), core.PCIe8GB(), core.PCIe64GB(), core.DevMemCfg()} {
-		d, sys, res := timeGEMM(cfg, 64)
+		d, sys, res := scenario.TimeGEMM(cfg, 64)
 		if d == 0 {
 			t.Fatalf("%s: zero duration", cfg.Name)
 		}
@@ -58,27 +62,27 @@ var miniViT = workload.ViTVariant{Name: "ViT-Mini", Hidden: 128, Heads: 4, Layer
 
 func TestRunViTChainsAllItems(t *testing.T) {
 	cfg := core.PCIe8GB()
-	times := runViT(Options{}, cfg, miniViT)
-	if times.gemm == 0 || times.nonGemm == 0 {
-		t.Fatalf("split missing: gemm=%v nongemm=%v", times.gemm, times.nonGemm)
+	times := scenario.RunViT(cfg, miniViT)
+	if times.GEMM == 0 || times.NonGEMM == 0 {
+		t.Fatalf("split missing: gemm=%v nongemm=%v", times.GEMM, times.NonGEMM)
 	}
 	// Memoized: identical pointer-free result on repeat.
-	again := runViT(Options{}, cfg, miniViT)
+	again := scenario.RunViT(cfg, miniViT)
 	if again != times {
 		t.Fatal("memoization broken")
 	}
 }
 
 func TestViTDevMemNonGEMMPenalty(t *testing.T) {
-	host := runViT(Options{}, core.PCIe8GB(), miniViT)
-	dev := runViT(Options{}, core.DevMemCfg(), miniViT)
-	if !(dev.nonGemm > host.nonGemm) {
-		t.Fatalf("DevMem Non-GEMM (%v) should exceed host (%v)", dev.nonGemm, host.nonGemm)
+	host := scenario.RunViT(core.PCIe8GB(), miniViT)
+	dev := scenario.RunViT(core.DevMemCfg(), miniViT)
+	if !(dev.NonGEMM > host.NonGEMM) {
+		t.Fatalf("DevMem Non-GEMM (%v) should exceed host (%v)", dev.NonGEMM, host.NonGEMM)
 	}
 	// The GEMM-side DevMem win needs real matrix sizes to amortize the
 	// 64 B device bursts; it is asserted at scale in core's
 	// TestDevMemBeatsLowBandwidthPCIe and visible in fig8.
-	ratio := float64(dev.nonGemm) / float64(host.nonGemm)
+	ratio := float64(dev.NonGEMM) / float64(host.NonGEMM)
 	if ratio < 1.2 {
 		t.Fatalf("NUMA penalty too small on mini ViT: %.2f", ratio)
 	}
@@ -105,20 +109,11 @@ func TestBuildSystemDriverRoundtrip(t *testing.T) {
 	}
 }
 
-func TestOptionsSize(t *testing.T) {
-	if (Options{}).size(512, 2048) != 512 {
-		t.Fatal("quick size wrong")
-	}
-	if (Options{Full: true}).size(512, 2048) != 2048 {
-		t.Fatal("full size wrong")
-	}
-}
-
 func TestTab4SmallestColumn(t *testing.T) {
 	// Run just the smallest matrix of Table IV end to end.
 	cfg := core.PCIe8GB()
 	cfg.Name = "tab4test"
-	d, sys, res := timeGEMM(cfg, 64)
+	d, sys, res := scenario.TimeGEMM(cfg, 64)
 	if res.PagesMapped != 12 {
 		t.Fatalf("pages = %d, want 12 (paper Table IV)", res.PagesMapped)
 	}

@@ -4,35 +4,22 @@ import (
 	"fmt"
 
 	"accesys/internal/analytic"
-	"accesys/internal/core"
-	"accesys/internal/dram"
-	"accesys/internal/driver"
-	"accesys/internal/pcie"
 	"accesys/internal/sim"
-	"accesys/internal/sweep"
 )
 
 // Fig2Roofline reproduces Fig. 2: fixed 8 GB/s PCIe, sweep the
 // systolic array's per-tile computation time, report normalized
 // execution time with the memory/compute-bound knee.
 func Fig2Roofline(opt Options) *Result {
-	n := opt.size(512, 1024)
+	sc, _, outs := sweepScenario(opt, "fig2")
+	n := sc.SizeFor(opt.Full)
 	r := &Result{
-		ID:      "fig2",
-		Title:   fmt.Sprintf("Roofline: GEMM %d, PCIe 8 GB/s, sweep per-tile compute time", n),
+		ID:      sc.Name,
+		Title:   sc.TitleFor(opt.Full),
 		Headers: []string{"compute_ns/tile", "exec_ms", "normalized"},
 	}
 
-	overrides := []sim.Tick{0, 100, 200, 400, 800, 1500, 3000, 6000, 12000}
-	points := make([]sweep.Point, len(overrides))
-	for i, ov := range overrides {
-		cfg := core.PCIe8GB()
-		cfg.Name = fmt.Sprintf("fig2-%d", ov)
-		cfg.Accel.ComputeOverride = ov * sim.Nanosecond
-		points[i] = gemmPoint(cfg, n, nil)
-	}
-	outs := opt.sweepAll("fig2", points)
-
+	overrides := sc.AxisNumbers("compute_ns", opt.Full)
 	var minT sim.Tick = sim.MaxTick
 	for _, o := range outs {
 		if o.Dur < minT {
@@ -40,7 +27,7 @@ func Fig2Roofline(opt Options) *Result {
 		}
 	}
 	for i, ov := range overrides {
-		label := fmt.Sprintf("%d", ov)
+		label := fmt.Sprintf("%g", ov)
 		if ov == 0 {
 			label = "model"
 		}
@@ -63,42 +50,23 @@ func Fig2Roofline(opt Options) *Result {
 }
 
 // Fig3BandwidthSweep reproduces Fig. 3: execution time across lane
-// counts {2,4,8,16} x per-lane rates {2..64 Gbps}.
+// counts {2,4,8,16} x per-lane rates {2..64 Gbps}. The whole table is
+// the scenario's declared pivot; only the saturation check is code.
 func Fig3BandwidthSweep(opt Options) *Result {
-	n := opt.size(512, 2048)
-	r := &Result{
-		ID:      "fig3",
-		Title:   fmt.Sprintf("PCIe bandwidth sweep, GEMM %d (paper: 2048)", n),
-		Headers: []string{"lanes", "2Gbps", "4Gbps", "8Gbps", "16Gbps", "32Gbps", "64Gbps"},
+	sc, runs, outs := sweepScenario(opt, "fig3")
+	r, err := sc.Render(opt.Full, runs, outs)
+	if err != nil {
+		panic(err)
 	}
-	speeds := []float64{2, 4, 8, 16, 32, 64}
-	lanes := []int{2, 4, 8, 16}
-
-	var points []sweep.Point
-	for _, l := range lanes {
-		for _, s := range speeds {
-			cfg := core.PCIe8GB()
-			cfg.Name = fmt.Sprintf("fig3-%dx%g", l, s)
-			cfg.PCIe = pcie.Config{Link: pcie.LinkConfig{Lanes: l, LaneGbps: s}}
-			points = append(points, gemmPoint(cfg, n, nil))
-		}
-	}
-	outs := opt.sweepAll("fig3", points)
 
 	var slowest, fastest sim.Tick
-	for li, l := range lanes {
-		row := []string{fmt.Sprintf("%d", l)}
-		for si := range speeds {
-			d := outs[li*len(speeds)+si].Dur
-			row = append(row, fmt.Sprintf("%.3fms", d.Seconds()*1e3))
-			if slowest == 0 || d > slowest {
-				slowest = d
-			}
-			if fastest == 0 || d < fastest {
-				fastest = d
-			}
+	for _, o := range outs {
+		if slowest == 0 || o.Dur > slowest {
+			slowest = o.Dur
 		}
-		r.Rows = append(r.Rows, row)
+		if fastest == 0 || o.Dur < fastest {
+			fastest = o.Dur
+		}
 	}
 	r.Note("paper: highest bandwidth outperforms lowest by up to 1109.9%%; scaling saturates when compute-bound")
 	r.Note("measured: slowest/fastest = %.1fx (%.0f%%)",
@@ -107,37 +75,23 @@ func Fig3BandwidthSweep(opt Options) *Result {
 }
 
 // Fig4PacketSize reproduces Fig. 4: execution time vs DMA request
-// packet size for several link bandwidths.
+// packet size for several link bandwidths. The table is the scenario's
+// declared pivot — `accesys sweep` on the fig4 manifest reaches the
+// identical renderer, which is what makes its rows byte-identical.
 func Fig4PacketSize(opt Options) *Result {
-	n := opt.size(512, 2048)
-	r := &Result{
-		ID:      "fig4",
-		Title:   fmt.Sprintf("Packet size sweep, GEMM %d", n),
-		Headers: []string{"GB/s", "64B", "128B", "256B", "512B", "1024B", "2048B", "4096B"},
+	sc, runs, outs := sweepScenario(opt, "fig4")
+	r, err := sc.Render(opt.Full, runs, outs)
+	if err != nil {
+		panic(err)
 	}
-	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
-	bandwidths := []float64{4, 8, 16, 32, 64}
-	lanesFor := map[float64]int{4: 4, 8: 8, 16: 16, 32: 16, 64: 16}
 
-	var points []sweep.Point
-	for _, gbps := range bandwidths {
-		for _, sz := range sizes {
-			cfg := core.PCIe8GB()
-			cfg.Name = fmt.Sprintf("fig4-%g-%d", gbps, sz)
-			cfg.PCIe = pcie.Config{Link: pcie.LinkForGBps(gbps, lanesFor[gbps])}
-			cfg.Accel.HostDMA.BurstBytes = sz
-			points = append(points, gemmPoint(cfg, n, nil))
-		}
-	}
-	outs := opt.sweepAll("fig4", points)
-
+	sizes := sc.AxisNumbers("packet_bytes", opt.Full)
+	bandwidths := sc.AxisLen("link", opt.Full)
 	convexOK := true
-	for bi, gbps := range bandwidths {
-		row := []string{fmt.Sprintf("%g", gbps)}
+	for bi := 0; bi < bandwidths; bi++ {
 		var t64, t256, t4096 sim.Tick
 		for si, sz := range sizes {
 			d := outs[bi*len(sizes)+si].Dur
-			row = append(row, fmt.Sprintf("%.3fms", d.Seconds()*1e3))
 			switch sz {
 			case 64:
 				t64 = d
@@ -150,7 +104,6 @@ func Fig4PacketSize(opt Options) *Result {
 		if !(t256 < t64 && t256 < t4096) {
 			convexOK = false
 		}
-		r.Rows = append(r.Rows, row)
 	}
 	r.Note("paper: convex curve, optimum ~256 B; 64 B costs +12%%, 4096 B +36%% vs optimum")
 	r.Note("measured: convex (both extremes slower than 256 B) across all bandwidths = %v", convexOK)
@@ -161,56 +114,38 @@ func Fig4PacketSize(opt Options) *Result {
 // vs host-side memory (2 and 64 GB/s PCIe) across memory technologies,
 // normalized to DDR4 device-side.
 func Fig5MemoryLocation(opt Options) *Result {
-	n := opt.size(512, 1024)
+	sc, _, outs := sweepScenario(opt, "fig5")
 	r := &Result{
-		ID:      "fig5",
-		Title:   fmt.Sprintf("Memory type and location, GEMM %d (speedup vs DDR4 DevMem)", n),
+		ID:      sc.Name,
+		Title:   sc.TitleFor(opt.Full),
 		Headers: []string{"memory", "DevMem", "host PCIe-2GB/s", "host PCIe-64GB/s"},
 	}
-	techs := []dram.Spec{dram.DDR4_2400, dram.HBM2_2000, dram.GDDR5_2000, dram.LPDDR5_6400}
 
-	// Three placements per technology, declared dev/host2/host64.
-	var points []sweep.Point
-	for _, spec := range techs {
-		devCfg := core.DevMemCfg()
-		devCfg.Name = "fig5-dev-" + spec.Name
-		devCfg.DevSpec = spec
-		points = append(points, gemmPoint(devCfg, n, nil))
-
-		h2 := core.PCIe2GB()
-		h2.Name = "fig5-h2-" + spec.Name
-		h2.HostSpec = spec
-		points = append(points, gemmPoint(h2, n, nil))
-
-		h64 := core.PCIe64GB()
-		h64.Name = "fig5-h64-" + spec.Name
-		h64.HostSpec = spec
-		points = append(points, gemmPoint(h64, n, nil))
-	}
-	outs := opt.sweepAll("fig5", points)
-
+	// Matrix order: memory technology outer, placement
+	// (devmem/pcie2gb/pcie64gb) inner.
+	techs := sc.AxisStrings("mem", opt.Full)
 	devT := make(map[string]sim.Tick)
 	host2T := make(map[string]sim.Tick)
 	host64T := make(map[string]sim.Tick)
-	for i, spec := range techs {
-		devT[spec.Name] = outs[3*i].Dur
-		host2T[spec.Name] = outs[3*i+1].Dur
-		host64T[spec.Name] = outs[3*i+2].Dur
+	for i, tech := range techs {
+		devT[tech] = outs[3*i].Dur
+		host2T[tech] = outs[3*i+1].Dur
+		host64T[tech] = outs[3*i+2].Dur
 	}
 
-	base := float64(devT[dram.DDR4_2400.Name])
+	base := float64(devT["DDR4-2400"])
 	speedup := func(t sim.Tick) string { return fmt.Sprintf("%.2f", base/float64(t)) }
-	for _, spec := range techs {
-		r.AddRow(spec.Name, speedup(devT[spec.Name]), speedup(host2T[spec.Name]), speedup(host64T[spec.Name]))
+	for _, tech := range techs {
+		r.AddRow(tech, speedup(devT[tech]), speedup(host2T[tech]), speedup(host64T[tech]))
 	}
 
 	okAll := true
-	for _, spec := range techs {
-		if !(devT[spec.Name] <= host2T[spec.Name]) {
+	for _, tech := range techs {
+		if !(devT[tech] <= host2T[tech]) {
 			okAll = false
 		}
 	}
-	frac := float64(devT[dram.HBM2_2000.Name]) / float64(host64T[dram.HBM2_2000.Name])
+	frac := float64(devT["HBM2-2000"]) / float64(host64T["HBM2-2000"])
 	r.Note("paper: DevMem always beats host-side; 64 GB/s PCIe reaches ~78%% of DevMem performance")
 	r.Note("measured: DevMem >= host(2GB/s) for all techs = %v; host@64GB/s reaches %.0f%% of DevMem (HBM2)",
 		okAll, 100*frac)
@@ -221,47 +156,36 @@ func Fig5MemoryLocation(opt Options) *Result {
 // latency sweep (b) using the fixed-latency SimpleMem model behind a
 // 64 GB/s link.
 func Fig6MemSweep(opt Options) *Result {
-	n := opt.size(1024, 2048)
+	sc, _, outs := sweepScenario(opt, "fig6")
 	r := &Result{
-		ID:      "fig6",
-		Title:   fmt.Sprintf("Host memory bandwidth/latency sweeps, GEMM %d (SimpleMem)", n),
+		ID:      sc.Name,
+		Title:   sc.TitleFor(opt.Full),
 		Headers: []string{"sweep", "value", "exec_ms", "normalized"},
 	}
 
-	point := func(latNs float64, bw float64) sweep.Point {
-		cfg := core.PCIe64GB()
-		cfg.Name = fmt.Sprintf("fig6-%g-%g", latNs, bw)
-		cfg.HostSimple = &core.SimpleMemParams{
-			Latency:       sim.TicksFromNanoseconds(latNs),
-			BandwidthGBps: bw,
+	// The scenario's simplemem axis lists the bandwidth sweep (at a
+	// fixed latency) followed by the latency sweep; derive the value
+	// lists and the split point from the axis itself so registry.go
+	// stays the single source of truth.
+	points := sc.AxisObjects("simplemem", opt.Full)
+	split := len(points)
+	for i, p := range points {
+		if p["latency_ns"] != points[0]["latency_ns"] {
+			split = i
+			break
 		}
-		// Keep the systolic array fast so memory (not compute) is the
-		// studied bottleneck, as in the paper's HBM case study.
-		cfg.Accel.ComputeOverride = 100 * sim.Nanosecond
-		return gemmPoint(cfg, n, nil)
 	}
-
-	bws := []float64{8, 16, 32, 50, 64, 100, 128, 256}
-	lats := []float64{1, 6, 12, 18, 24, 30, 36}
-	var points []sweep.Point
-	for _, bw := range bws {
-		points = append(points, point(30, bw))
-	}
-	for _, lat := range lats {
-		points = append(points, point(lat, 64))
-	}
-	outs := opt.sweepAll("fig6", points)
-	bwOuts, latOuts := outs[:len(bws)], outs[len(bws):]
+	bwOuts, latOuts := outs[:split], outs[split:]
 
 	base := bwOuts[len(bwOuts)-1].Dur
-	for i, bw := range bws {
-		r.AddRow("bandwidth", fmt.Sprintf("%gGB/s", bw),
+	for i, p := range points[:split] {
+		r.AddRow("bandwidth", fmt.Sprintf("%gGB/s", p["bandwidth_gbps"]),
 			fmt.Sprintf("%.3f", bwOuts[i].Dur.Seconds()*1e3),
 			fmt.Sprintf("%.3f", float64(bwOuts[i].Dur)/float64(base)))
 	}
 	latBase := latOuts[0].Dur
-	for i, lat := range lats {
-		r.AddRow("latency", fmt.Sprintf("%gns", lat),
+	for i, p := range points[split:] {
+		r.AddRow("latency", fmt.Sprintf("%gns", p["latency_ns"]),
 			fmt.Sprintf("%.3f", latOuts[i].Dur.Seconds()*1e3),
 			fmt.Sprintf("%.3f", float64(latOuts[i].Dur)/float64(latBase)))
 	}
@@ -274,55 +198,22 @@ func Fig6MemSweep(opt Options) *Result {
 	return r
 }
 
-// tab4Points declares two points per matrix size: the translated run
-// (with its SMMU stats extracted into the outcome) and the same job
-// with the SMMU bypassed — overhead is measured the honest way,
-// comparing end-to-end times.
-func tab4Points(sizes []int) []sweep.Point {
-	var points []sweep.Point
-	for _, n := range sizes {
-		cfg := core.PCIe8GB()
-		cfg.Name = fmt.Sprintf("tab4-%d", n)
-		pre := cfg.Name + ".smmu."
-		points = append(points, gemmPoint(cfg, n,
-			func(sys *core.System, res driver.Result) map[string]float64 {
-				look := sys.Stats.Lookup
-				return map[string]float64{
-					"pages":        float64(res.PagesMapped),
-					"translations": look(pre + "translations").Value(),
-					"trans_ns":     look(pre + "trans_ns").Value(),
-					"ptws":         look(pre + "ptws").Value(),
-					"ptw_ns":       look(pre + "ptw_ns").Value(),
-					"utlb_lookups": look(pre + "utlb_lookups").Value(),
-					"utlb_misses":  look(pre + "utlb_misses").Value(),
-				}
-			}))
-
-		bypass := core.PCIe8GB()
-		bypass.Name = fmt.Sprintf("tab4b-%d", n)
-		bypass.SMMU.Bypass = true
-		points = append(points, gemmPoint(bypass, n, nil))
-	}
-	return points
-}
-
 // Tab4Translation reproduces Table IV: SMMU statistics across matrix
-// sizes.
+// sizes. The scenario declares two runs per size — translated (with
+// SMMU metrics extracted into the outcome) and the same job with the
+// SMMU bypassed — so overhead is measured the honest way, comparing
+// end-to-end times.
 func Tab4Translation(opt Options) *Result {
-	sizes := []int{64, 128, 256, 512, 1024}
-	if opt.Full {
-		sizes = append(sizes, 2048)
-	}
+	sc, _, outs := sweepScenario(opt, "tab4")
+	sizes := sc.AxisNumbers("size", opt.Full)
 	r := &Result{
-		ID:      "tab4",
-		Title:   "Address translation statistics (SMMU), DC access method",
+		ID:      sc.Name,
+		Title:   sc.TitleFor(opt.Full),
 		Headers: []string{"metric"},
 	}
 	for _, n := range sizes {
-		r.Headers = append(r.Headers, fmt.Sprintf("%d", n))
+		r.Headers = append(r.Headers, fmt.Sprintf("%g", n))
 	}
-
-	outs := opt.sweepAll("tab4", tab4Points(sizes))
 
 	type row struct {
 		pages     int
@@ -347,7 +238,7 @@ func Tab4Translation(opt Options) *Result {
 			utlbMiss:  trans.Value("utlb_misses"),
 			overhead:  100 * (float64(trans.Dur) - float64(bypass.Dur)) / float64(bypass.Dur),
 		})
-		opt.logf("tab4: n=%d pages=%d trans=%.0f overhead=%.2f%%\n",
+		opt.Logf("tab4: n=%g pages=%d trans=%.0f overhead=%.2f%%\n",
 			n, rows[len(rows)-1].pages, rows[len(rows)-1].trans, rows[len(rows)-1].overhead)
 	}
 

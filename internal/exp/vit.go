@@ -2,171 +2,32 @@ package exp
 
 import (
 	"fmt"
-	"sync"
 
 	"accesys/internal/analytic"
 	"accesys/internal/core"
-	"accesys/internal/cpu"
-	"accesys/internal/driver"
-	"accesys/internal/sim"
-	"accesys/internal/sweep"
+	"accesys/internal/scenario"
 	"accesys/internal/workload"
 )
 
-// vitTimes holds the measured split for one (config, model) pair,
-// scaled to the full model (simulated layer x layer count).
-type vitTimes struct {
-	config  string
-	model   string
-	gemm    sim.Tick
-	nonGemm sim.Tick
-}
-
-func (v vitTimes) total() sim.Tick { return v.gemm + v.nonGemm }
-
-// vitConfigs returns the four system configurations of Section V.C.
+// vitConfigs returns the four system configurations of Section V.C in
+// the row order the figures report (matching the fig7/8/9 scenarios'
+// preset axis).
 func vitConfigs() []core.Config {
 	return []core.Config{core.PCIe2GB(), core.PCIe8GB(), core.PCIe64GB(), core.DevMemCfg()}
 }
 
-// vitMemo caches in-process ViT runs across the Fig. 7/8/9 trio; the
-// mutex makes it safe under parallel sweep workers.
-var (
-	vitMu   sync.Mutex
-	vitMemo = map[string]vitTimes{}
-)
-
-// runViT simulates one encoder layer of the variant under cfg and
-// scales by the layer count. Results are memoized per (config, model).
-func runViT(opt Options, cfg core.Config, v workload.ViTVariant) vitTimes {
-	key := cfg.Name + "/" + v.Name
-	vitMu.Lock()
-	t, ok := vitMemo[key]
-	vitMu.Unlock()
-	if ok {
-		return t
-	}
-
-	t = simViT(cfg, v)
-	vitMu.Lock()
-	vitMemo[key] = t
-	vitMu.Unlock()
-	opt.logf("vit: %s %s gemm=%v nongemm=%v\n", cfg.Name, v.Name, t.gemm, t.nonGemm)
-	return t
-}
-
-// simViT is the uncached simulation of one encoder layer.
-func simViT(cfg core.Config, v workload.ViTVariant) vitTimes {
-	g := workload.ViT(v)
-	sys, drv := BuildSystem(cfg)
-	devMode := sys.Cfg.Access == core.DevMem
-
-	// Activation arena: where the CPU's Non-GEMM operators stream. In
-	// the DevMem configuration activations live in device memory — the
-	// NUMA penalty of Fig. 8.
-	const arena = 64 << 20
-	var actBase uint64
-	if devMode {
-		actBase = drv.AllocDev(arena)
-	} else {
-		actBase = drv.AllocHost(arena)
-	}
-
-	var gemmT, cpuT sim.Tick
-	rot := uint64(0)
-	idx := 0
-	var step func()
-	step = func() {
-		if idx == len(g.Items) {
-			return
+// vitSweep runs the named scenario's (config x model) matrix through
+// the engine and returns the GEMM/Non-GEMM splits keyed by config then
+// model name. ViT runs are identified by their physical system, so the
+// Fig. 7/8/9 trio share cached outcomes and the in-process layer memo.
+func vitSweep(opt Options, id string) map[string]map[string]scenario.ViTSplit {
+	_, runs, outs := sweepScenario(opt, id)
+	times := map[string]map[string]scenario.ViTSplit{}
+	for i, r := range runs {
+		if times[r.Cfg.Name] == nil {
+			times[r.Cfg.Name] = map[string]scenario.ViTSplit{}
 		}
-		it := g.Items[idx]
-		idx++
-		start := sys.Now()
-		if it.GEMM != nil {
-			j := it.GEMM
-			drv.RunGEMM(driver.GEMMSpec{M: j.M, N: j.N, K: j.K}, func(driver.Result) {
-				gemmT += sys.Now() - start
-				step()
-			})
-			return
-		}
-		op := it.CPU
-		span := uint64(op.ReadBytes + op.WriteBytes)
-		if rot+span >= arena {
-			rot = 0
-		}
-		sys.CPU.Run([]cpu.Op{{
-			Name:          op.Name,
-			ReadAddr:      actBase + rot,
-			ReadBytes:     op.ReadBytes,
-			WriteAddr:     actBase + rot + uint64(op.ReadBytes),
-			WriteBytes:    op.WriteBytes,
-			ComputeCycles: op.ComputeCycles,
-		}}, func() {
-			cpuT += sys.Now() - start
-			step()
-		})
-		rot += span
-	}
-	step()
-	sys.Run()
-	if idx != len(g.Items) {
-		panic(fmt.Sprintf("exp: ViT run under %s stalled at item %d/%d", cfg.Name, idx, len(g.Items)))
-	}
-
-	return vitTimes{
-		config:  cfg.Name,
-		model:   v.Name,
-		gemm:    gemmT * sim.Tick(g.Layers),
-		nonGemm: cpuT * sim.Tick(g.Layers),
-	}
-}
-
-// vitPoint wraps one (config, model) ViT run as a sweep point. The
-// outcome carries the GEMM/Non-GEMM split so it survives the result
-// cache.
-func vitPoint(opt Options, cfg core.Config, v workload.ViTVariant) sweep.Point {
-	return sweep.Point{
-		Key:         cfg.Name + "/" + v.Name,
-		Fingerprint: sweep.Fingerprint("vit", cfg, v, fmt.Sprintf("%T", cfg.Accel.Backend)),
-		Run: func() sweep.Outcome {
-			t := runViT(opt, cfg, v)
-			return sweep.Outcome{
-				Dur: t.total(),
-				Values: map[string]float64{
-					"gemm":    float64(t.gemm),
-					"nongemm": float64(t.nonGemm),
-				},
-			}
-		},
-	}
-}
-
-// vitSweep runs the full (config x model) matrix through the engine
-// and returns the splits keyed by config then model name.
-func vitSweep(opt Options, id string, configs []core.Config, models []workload.ViTVariant) map[string]map[string]vitTimes {
-	var points []sweep.Point
-	for _, cfg := range configs {
-		for _, v := range models {
-			points = append(points, vitPoint(opt, cfg, v))
-		}
-	}
-	outs := opt.sweepAll(id, points)
-
-	times := map[string]map[string]vitTimes{}
-	i := 0
-	for _, cfg := range configs {
-		times[cfg.Name] = map[string]vitTimes{}
-		for _, v := range models {
-			times[cfg.Name][v.Name] = vitTimes{
-				config:  cfg.Name,
-				model:   v.Name,
-				gemm:    outs[i].Tick("gemm"),
-				nonGemm: outs[i].Tick("nongemm"),
-			}
-			i++
-		}
+		times[r.Cfg.Name][r.Model.Name] = scenario.Split(outs[i])
 	}
 	return times
 }
@@ -177,25 +38,25 @@ func vitSweep(opt Options, id string, configs []core.Config, models []workload.V
 func Fig7Transformer(opt Options) *Result {
 	r := &Result{
 		ID:      "fig7",
-		Title:   "Transformer inference across memory/interconnect configurations",
+		Title:   scenario.MustBuiltin("fig7").TitleFor(opt.Full),
 		Headers: []string{"config", "ViT-Base", "ViT-Large", "ViT-Huge", "speedup(Base)"},
 	}
 	models := workload.Variants()
-	times := vitSweep(opt, "fig7", vitConfigs(), models)
+	times := vitSweep(opt, "fig7")
 
 	base := times["PCIe-2GB"]
 	for _, cfg := range vitConfigs() {
 		row := []string{cfg.Name}
 		for _, v := range models {
-			row = append(row, fmt.Sprintf("%.2fms", times[cfg.Name][v.Name].total().Seconds()*1e3))
+			row = append(row, fmt.Sprintf("%.2fms", times[cfg.Name][v.Name].Total().Seconds()*1e3))
 		}
-		sp := float64(base[models[0].Name].total()) / float64(times[cfg.Name][models[0].Name].total())
+		sp := float64(base[models[0].Name].Total()) / float64(times[cfg.Name][models[0].Name].Total())
 		row = append(row, fmt.Sprintf("%.2fx", sp))
 		r.Rows = append(r.Rows, row)
 	}
 
-	sp64 := float64(base["ViT-Base"].total()) / float64(times["PCIe-64GB"]["ViT-Base"].total())
-	devVs64 := float64(times["DevMem"]["ViT-Base"].total()) / float64(times["PCIe-64GB"]["ViT-Base"].total())
+	sp64 := float64(base["ViT-Base"].Total()) / float64(times["PCIe-64GB"]["ViT-Base"].Total())
+	devVs64 := float64(times["DevMem"]["ViT-Base"].Total()) / float64(times["PCIe-64GB"]["ViT-Base"].Total())
 	r.Note("paper: PCIe-64GB reaches 2.5-3.4x over PCIe-2GB; DevMem slightly worse than PCIe-64GB")
 	r.Note("measured: PCIe-64GB speedup %.2fx (Base); DevMem/PCIe-64GB time ratio %.2f", sp64, devVs64)
 	return r
@@ -206,24 +67,24 @@ func Fig7Transformer(opt Options) *Result {
 func Fig8Split(opt Options) *Result {
 	r := &Result{
 		ID:      "fig8",
-		Title:   "GEMM vs Non-GEMM runtime split (ViT-Base/Large/Huge)",
+		Title:   scenario.MustBuiltin("fig8").TitleFor(opt.Full),
 		Headers: []string{"config", "model", "gemm_ms", "nongemm_ms", "nongemm_share"},
 	}
-	times := vitSweep(opt, "fig8", vitConfigs(), workload.Variants())
+	times := vitSweep(opt, "fig8")
 	for _, cfg := range vitConfigs() {
 		for _, v := range workload.Variants() {
 			t := times[cfg.Name][v.Name]
 			r.AddRow(cfg.Name, v.Name,
-				fmt.Sprintf("%.2f", t.gemm.Seconds()*1e3),
-				fmt.Sprintf("%.2f", t.nonGemm.Seconds()*1e3),
-				fmt.Sprintf("%.0f%%", 100*float64(t.nonGemm)/float64(t.total())))
+				fmt.Sprintf("%.2f", t.GEMM.Seconds()*1e3),
+				fmt.Sprintf("%.2f", t.NonGEMM.Seconds()*1e3),
+				fmt.Sprintf("%.0f%%", 100*float64(t.NonGEMM)/float64(t.Total())))
 		}
 	}
 
 	dev := times["DevMem"][workload.ViTLarge.Name]
 	pcie := times["PCIe-8GB"][workload.ViTLarge.Name]
-	gemmWin := float64(pcie.gemm) / float64(dev.gemm)
-	nonPenalty := float64(dev.nonGemm) / float64(pcie.nonGemm)
+	gemmWin := float64(pcie.GEMM) / float64(dev.GEMM)
+	nonPenalty := float64(dev.NonGEMM) / float64(pcie.NonGEMM)
 	r.Note("paper: DevMem best at GEMM but up to 500%% Non-GEMM overhead vs PCIe systems (NUMA)")
 	r.Note("measured (ViT-Large): DevMem GEMM %.2fx faster than PCIe-8GB; Non-GEMM %.1fx slower", gemmWin, nonPenalty)
 	return r
@@ -234,19 +95,19 @@ func Fig8Split(opt Options) *Result {
 func Fig9Model(opt Options) *Result {
 	r := &Result{
 		ID:      "fig9",
-		Title:   "Composition model: time vs Non-GEMM fraction (ViT-Base units)",
+		Title:   scenario.MustBuiltin("fig9").TitleFor(opt.Full),
 		Headers: []string{"w_nongemm", "PCIe-2GB", "PCIe-8GB", "PCIe-64GB", "DevMem"},
 	}
 	m := analytic.Composition{}
 	configs := vitConfigs()
-	times := vitSweep(opt, "fig9", configs, []workload.ViTVariant{workload.ViTBase})
+	times := vitSweep(opt, "fig9")
 	units := map[string]analytic.Config{}
 	for _, cfg := range configs {
 		t := times[cfg.Name][workload.ViTBase.Name]
 		units[cfg.Name] = analytic.Config{
 			Name:     cfg.Name,
-			GEMMNs:   t.gemm.Nanoseconds(),
-			NonGEMMs: t.nonGemm.Nanoseconds(),
+			GEMMNs:   t.GEMM.Nanoseconds(),
+			NonGEMMs: t.NonGEMM.Nanoseconds(),
 		}
 	}
 

@@ -1,0 +1,531 @@
+// Package scenario is the declarative layer over the sweep engine: a
+// Scenario names a base system, a workload, and a set of axes whose
+// cross product is the run matrix, plus the metrics to extract per
+// point and an optional table shape for rendering. The nine built-in
+// experiments of the paper's evaluation declare their matrices here
+// (see registry.go), and Load reads the same model from a JSON
+// manifest so an arbitrary matrix runs with zero new Go.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"accesys/internal/core"
+	"accesys/internal/sweep"
+	"accesys/internal/workload"
+)
+
+// Size is a quick/full pair: experiments run reduced sizes by default
+// to stay interactive and paper-scale sizes under -full. In JSON it
+// decodes from either a plain number (both modes equal) or
+// {"quick": q, "full": f}.
+type Size struct {
+	Quick int `json:"quick"`
+	Full  int `json:"full"`
+}
+
+// Pick resolves the size for the given mode.
+func (s Size) Pick(full bool) int {
+	if full {
+		return s.Full
+	}
+	return s.Quick
+}
+
+// UnmarshalJSON accepts 512 or {"quick": 512, "full": 2048}.
+func (s *Size) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] != '{' {
+		var n int
+		if err := json.Unmarshal(data, &n); err != nil {
+			return err
+		}
+		s.Quick, s.Full = n, n
+		return nil
+	}
+	type raw Size
+	var r raw
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return err
+	}
+	*s = Size(r)
+	return nil
+}
+
+// Workload selects what each run simulates: a timing-only square GEMM
+// of size N, or one ViT encoder layer scaled by the model's layer
+// count (the model itself comes from a "model" axis).
+type Workload struct {
+	// Kind is "gemm" (default) or "vit".
+	Kind string `json:"kind"`
+	// N is the square GEMM size; a "size" axis overrides it per point.
+	N Size `json:"n"`
+}
+
+// Value is one axis value as decoded from JSON: a number (float64), a
+// string, a bool, or an object (map[string]any), depending on the
+// axis. Built-in scenarios may use friendlier Go literals — values are
+// canonicalized through JSON semantics before use.
+type Value = any
+
+// Axis is one swept dimension: a named kind from the axis registry
+// (see axes.go) and its value list. Declaration order fixes the cross
+// product nesting — the first axis varies slowest.
+type Axis struct {
+	Name   string  `json:"axis"`
+	Values []Value `json:"values"`
+	// FullValues are appended under -full (e.g. Table IV's 2048
+	// column, too slow for interactive runs).
+	FullValues []Value `json:"full_values,omitempty"`
+}
+
+// Setting is a fixed single-value axis application: scenario-wide
+// configuration overrides that are not swept (e.g. Fig. 6 pins the
+// per-tile compute time so memory stays the studied bottleneck).
+type Setting struct {
+	Axis  string `json:"axis"`
+	Value Value  `json:"value"`
+}
+
+// Table declares how Render pivots the matrix into a Result: the axis
+// whose values label rows, the axis whose values become columns, and
+// the cell format. The zero value renders a flat one-row-per-point
+// listing with any extracted metrics as extra columns.
+type Table struct {
+	Row       string `json:"row,omitempty"`
+	RowHeader string `json:"row_header,omitempty"`
+	Col       string `json:"col,omitempty"`
+	// Cell is the duration format: "ms3" (%.3fms, default), "ms2",
+	// or "s3".
+	Cell string `json:"cell,omitempty"`
+}
+
+// Scenario is one declarative sweep.
+type Scenario struct {
+	// Name identifies the scenario; it prefixes run keys and is the
+	// Result ID.
+	Name string `json:"name"`
+	// Title heads the rendered table. One optional %d verb is
+	// substituted with the resolved GEMM size.
+	Title string `json:"title,omitempty"`
+	// Base names the starting system preset: "default", "pcie2gb",
+	// "pcie8gb", "pcie64gb", or "devmem" (empty = "default", the
+	// paper's Table II system). A "preset" axis replaces it per point.
+	Base string `json:"base,omitempty"`
+	// Workload selects the simulated job.
+	Workload Workload `json:"workload"`
+	// Defaults are fixed overrides applied to every point before the
+	// axes.
+	Defaults []Setting `json:"defaults,omitempty"`
+	// Axes span the run matrix.
+	Axes []Axis `json:"axes"`
+	// Metrics names extraction groups recorded into each outcome:
+	// "pages", "smmu", "accel" (see runner.go).
+	Metrics []string `json:"metrics,omitempty"`
+	// Table shapes Render output.
+	Table Table `json:"table,omitempty"`
+}
+
+// Run is one resolved point of the matrix: the full system config plus
+// workload parameters, with the per-axis labels that name it.
+type Run struct {
+	// Key labels the run in progress output and is unique within the
+	// scenario.
+	Key string
+	// Cfg is the fully resolved system configuration.
+	Cfg core.Config
+	// N is the GEMM size (gemm workloads).
+	N int
+	// Model is the ViT variant (vit workloads).
+	Model workload.ViTVariant
+
+	axisNames []string
+	labels    []string
+}
+
+// Label returns the run's key fragment for the named axis ("" when the
+// axis is not part of the scenario).
+func (r Run) Label(axis string) string {
+	for i, n := range r.axisNames {
+		if n == axis {
+			return r.labels[i]
+		}
+	}
+	return ""
+}
+
+// SizeFor resolves the workload's GEMM size for the given mode.
+func (s *Scenario) SizeFor(full bool) int { return s.Workload.N.Pick(full) }
+
+// TitleFor renders the title, substituting the resolved GEMM size for
+// an optional %d verb.
+func (s *Scenario) TitleFor(full bool) string {
+	if strings.Contains(s.Title, "%d") {
+		return fmt.Sprintf(s.Title, s.SizeFor(full))
+	}
+	return s.Title
+}
+
+// axisValues returns the named axis's canonicalized values for the
+// given mode, or nil when absent.
+func (s *Scenario) axisValues(name string, full bool) []Value {
+	for _, ax := range s.Axes {
+		if ax.Name == name {
+			vals := append(append([]Value{}, ax.Values...), fullExtra(ax, full)...)
+			out := make([]Value, len(vals))
+			for i, v := range vals {
+				out[i], _ = canon(v)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// AxisStrings formats the named axis's values (quick+full as
+// requested) with the axis's header formatter — the labels figure code
+// uses when walking the matrix.
+func (s *Scenario) AxisStrings(name string, full bool) []string {
+	def, ok := axisRegistry[name]
+	if !ok {
+		return nil
+	}
+	vals := s.axisValues(name, full)
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = def.label(v)
+	}
+	return out
+}
+
+// AxisNumbers returns the named axis's values as numbers — what
+// figure code walking the matrix uses for knee/stride math.
+// Non-numeric values come back as 0.
+func (s *Scenario) AxisNumbers(name string, full bool) []float64 {
+	vals := s.axisValues(name, full)
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i], _ = v.(float64)
+	}
+	return out
+}
+
+// AxisObjects returns the named axis's object values with their
+// numeric fields — how figure code reads composite axes (link,
+// simplemem) without duplicating the value lists. Non-object values
+// come back as empty maps.
+func (s *Scenario) AxisObjects(name string, full bool) []map[string]float64 {
+	vals := s.axisValues(name, full)
+	out := make([]map[string]float64, len(vals))
+	for i, v := range vals {
+		out[i] = map[string]float64{}
+		if m, ok := v.(map[string]any); ok {
+			for k, f := range m {
+				if fv, ok := f.(float64); ok {
+					out[i][k] = fv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AxisLen returns the named axis's value count for the given mode.
+func (s *Scenario) AxisLen(name string, full bool) int {
+	return len(s.axisValues(name, full))
+}
+
+func fullExtra(ax Axis, full bool) []Value {
+	if full {
+		return ax.FullValues
+	}
+	return nil
+}
+
+// canon round-trips a value through JSON so Go-declared scenarios and
+// manifest-loaded ones see identical representations (ints become
+// float64, structs become maps).
+func canon(v Value) (Value, error) {
+	switch v.(type) {
+	case float64, string, bool, nil:
+		return v, nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("unencodable axis value %T: %v", v, err)
+	}
+	var out any
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Validate checks the scenario against the axis registry without
+// expanding it.
+func (s *Scenario) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %s: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if _, ok := presets[s.base()]; !ok {
+		return fail("unknown base preset %q (want one of %s)", s.Base, presetNames())
+	}
+	switch s.Workload.Kind {
+	case "", "gemm":
+		if s.SizeFor(false) <= 0 && !s.hasAxis("size") {
+			return fail("gemm workload needs a positive n or a size axis")
+		}
+	case "vit":
+	default:
+		return fail("unknown workload kind %q (want gemm or vit)", s.Workload.Kind)
+	}
+	seen := map[string]bool{}
+	for _, ax := range s.Axes {
+		def, ok := axisRegistry[ax.Name]
+		if !ok {
+			return fail("unknown axis %q (want one of %s)", ax.Name, axisNames())
+		}
+		if seen[ax.Name] {
+			return fail("duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return fail("axis %q: empty matrix (no values)", ax.Name)
+		}
+		for _, v := range append(append([]Value{}, ax.Values...), ax.FullValues...) {
+			cv, err := canon(v)
+			if err != nil {
+				return fail("axis %q: %v", ax.Name, err)
+			}
+			if err := def.check(cv); err != nil {
+				return fail("axis %q: %v", ax.Name, err)
+			}
+		}
+	}
+	for _, d := range s.Defaults {
+		def, ok := axisRegistry[d.Axis]
+		if !ok {
+			return fail("defaults: unknown axis %q", d.Axis)
+		}
+		cv, err := canon(d.Value)
+		if err != nil {
+			return fail("defaults %q: %v", d.Axis, err)
+		}
+		if err := def.check(cv); err != nil {
+			return fail("defaults %q: %v", d.Axis, err)
+		}
+	}
+	for _, m := range s.Metrics {
+		if _, ok := metricGroups[m]; !ok {
+			return fail("unknown metric group %q (want one of %s)", m, metricNames())
+		}
+	}
+	if s.Table.Col != "" && !seen[s.Table.Col] {
+		return fail("table col %q is not a declared axis", s.Table.Col)
+	}
+	if s.Table.Row != "" && !seen[s.Table.Row] {
+		return fail("table row %q is not a declared axis", s.Table.Row)
+	}
+	if s.Table.Col != "" {
+		if s.Table.Row == "" {
+			return fail("table col needs a row axis")
+		}
+		if s.Table.Row == s.Table.Col {
+			return fail("table row and col must name different axes")
+		}
+		if len(s.Axes) != 2 {
+			return fail("pivot table needs exactly two axes, have %d", len(s.Axes))
+		}
+	}
+	if _, ok := cellFormats[s.cell()]; !ok {
+		return fail("unknown cell format %q", s.Table.Cell)
+	}
+	return nil
+}
+
+func (s *Scenario) base() string {
+	if s.Base == "" {
+		return "default"
+	}
+	return s.Base
+}
+
+func (s *Scenario) cell() string {
+	if s.Table.Cell == "" {
+		return "ms3"
+	}
+	return s.Table.Cell
+}
+
+func (s *Scenario) hasAxis(name string) bool {
+	for _, ax := range s.Axes {
+		if ax.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Expand validates the scenario and resolves its cross product into
+// runs, first axis varying slowest. Every run carries a fully
+// defaulted-and-overridden core.Config plus workload parameters; gemm
+// runs are named <scenario>-<label>-..., while vit runs keep the
+// physical config name (so identical systems share cache entries and
+// the in-process memo across scenarios) and are keyed
+// <config>/<model>.
+func (s *Scenario) Expand(full bool) ([]Run, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+
+	axes := make([]struct {
+		def  *axisDef
+		vals []Value
+	}, len(s.Axes))
+	total := 1
+	for i, ax := range s.Axes {
+		axes[i].def = axisRegistry[ax.Name]
+		axes[i].vals = s.axisValues(ax.Name, full)
+		total *= len(axes[i].vals)
+	}
+
+	runs := make([]Run, 0, total)
+	idx := make([]int, len(axes))
+	for count := 0; count < total; count++ {
+		r := Run{
+			Cfg:   presets[s.base()](),
+			N:     s.SizeFor(full),
+			Model: workload.ViTBase,
+		}
+		// Apply defaults and the selected value of every axis in phase
+		// order (presets replace the config wholesale, so they go
+		// first; placement-aware axes like "mem" go last), but record
+		// labels in declaration order. Within a phase, defaults
+		// precede axes so a swept axis can override a default — and a
+		// field default (e.g. compute_ns) survives a preset axis
+		// replacing the whole config in the earlier phase.
+		r.axisNames = make([]string, len(axes))
+		r.labels = make([]string, len(axes))
+		for phase := 0; phase <= maxPhase; phase++ {
+			for _, d := range s.Defaults {
+				def := axisRegistry[d.Axis]
+				if def.phase != phase {
+					continue
+				}
+				cv, _ := canon(d.Value)
+				if err := def.apply(&r, cv); err != nil {
+					return nil, fmt.Errorf("scenario %s: defaults %q: %v", s.Name, d.Axis, err)
+				}
+			}
+			for i, ax := range axes {
+				if ax.def.phase != phase {
+					continue
+				}
+				v := ax.vals[idx[i]]
+				if err := ax.def.apply(&r, v); err != nil {
+					return nil, fmt.Errorf("scenario %s: axis %q: %v", s.Name, ax.def.name, err)
+				}
+				r.axisNames[i] = ax.def.name
+				r.labels[i] = ax.def.label(v)
+			}
+		}
+		s.nameRun(&r)
+		runs = append(runs, r)
+
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(axes[i].vals) {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	if s.Workload.Kind == "gemm" || s.Workload.Kind == "" {
+		for _, r := range runs {
+			if r.N <= 0 {
+				return nil, fmt.Errorf("scenario %s: run %s has no GEMM size", s.Name, r.Key)
+			}
+		}
+	}
+	return runs, nil
+}
+
+// nameRun fixes the run's config name and progress key. ViT runs are
+// identified by their physical system (preset name) so the result
+// cache and the in-process layer memo are shared across figures that
+// sweep the same systems.
+func (s *Scenario) nameRun(r *Run) {
+	if s.Workload.Kind == "vit" {
+		key := r.Cfg.Name + "/" + r.Model.Name
+		for i, n := range r.axisNames {
+			if n != "preset" && n != "model" {
+				key += "-" + r.labels[i]
+			}
+		}
+		r.Key = key
+		return
+	}
+	name := s.Name
+	for _, l := range r.labels {
+		if l != "" {
+			name += "-" + l
+		}
+	}
+	r.Cfg.Name = name
+	r.Key = name
+}
+
+// Options carries the execution knobs shared by built-in experiments
+// and manifest sweeps.
+type Options struct {
+	// Full runs paper-scale sizes and full_values; otherwise reduced
+	// sizes keep runtimes interactive.
+	Full bool
+	// Verbose streams k/n progress lines with an ETA to Out.
+	Verbose bool
+	// Out receives progress output (default: discard).
+	Out io.Writer
+	// Jobs bounds each sweep's worker pool; <= 0 runs one worker per
+	// CPU. Results are ordering-deterministic regardless.
+	Jobs int
+	// Cache, when non-nil, memoises completed runs on disk so repeated
+	// invocations skip untouched design points.
+	Cache *sweep.Cache
+}
+
+// Logf writes a progress line when verbose output is enabled.
+func (o Options) Logf(format string, args ...any) {
+	if o.Verbose && o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// Sweep fans the points out over the engine, streaming progress (with
+// completion counts and an ETA from measured per-point wall times)
+// when the options ask for it, and returns outcomes in declaration
+// order.
+func (o Options) Sweep(label string, points []sweep.Point) []sweep.Outcome {
+	eng := &sweep.Engine{Jobs: o.Jobs, Cache: o.Cache}
+	if o.Verbose && o.Out != nil {
+		eng.OnResult = sweep.NewProgress(o.Out, label, len(points), eng.Workers(len(points))).Observe
+	}
+	return eng.Run(points)
+}
+
+// Run is the manifest front door: expand the matrix, sweep it, and
+// render the table.
+func (s *Scenario) Run(o Options) (*Result, error) {
+	runs, err := s.Expand(o.Full)
+	if err != nil {
+		return nil, err
+	}
+	outs := o.Sweep(s.Name, s.Points(runs))
+	return s.Render(o.Full, runs, outs)
+}

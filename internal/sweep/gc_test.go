@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func fillCache(t *testing.T, c *Cache, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		c.Put(Fingerprint("gc", i), Outcome{Dur: 1})
+	}
+}
+
+func TestUsageCountsOnlyEntries(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCache(t, c, 3)
+	// Non-entry files in the directory must not count.
+	if err := os.WriteFile(filepath.Join(c.Dir(), countersName), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), "put-zz.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, bytes, err := c.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 3 {
+		t.Fatalf("entries = %d, want 3", entries)
+	}
+	if bytes == 0 {
+		t.Fatal("usage bytes should be nonzero")
+	}
+}
+
+func TestGCByCountEvictsOldest(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCache(t, c, 5)
+	// Backdate the first two entries so mtime ordering is unambiguous.
+	old := time.Now().Add(-time.Hour)
+	for i := 0; i < 2; i++ {
+		path := c.path(c.key(Fingerprint("gc", i)))
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := c.GC(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 5 || res.Evicted != 2 || res.EvictedBytes == 0 {
+		t.Fatalf("gc result = %+v, want scanned 5, evicted 2", res)
+	}
+	// The backdated entries are gone; the newest three survive.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(Fingerprint("gc", i)); ok {
+			t.Fatalf("entry %d should be evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := c.Get(Fingerprint("gc", i)); !ok {
+			t.Fatalf("entry %d should survive", i)
+		}
+	}
+}
+
+func TestGCByAge(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCache(t, c, 3)
+	old := time.Now().Add(-48 * time.Hour)
+	path := c.path(c.key(Fingerprint("gc", 0)))
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.GC(24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 1 {
+		t.Fatalf("evicted %d, want 1", res.Evicted)
+	}
+	if entries, _, _ := c.Usage(); entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+}
+
+func TestGCRemovesStaleTemps(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(c.Dir(), "put-stale.tmp")
+	fresh := filepath.Join(c.Dir(), "put-fresh.tmp")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * gcTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.GC(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Temps != 1 {
+		t.Fatalf("temps removed = %d, want 1", res.Temps)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp (possibly a live writer's) must survive")
+	}
+}
+
+func TestGCUnboundedKeepsEverything(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCache(t, c, 4)
+	res, err := c.GC(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 0 || res.Scanned != 4 {
+		t.Fatalf("unbounded gc evicted %d of %d", res.Evicted, res.Scanned)
+	}
+}
+
+func TestCountersFlushAccumulates(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(Fingerprint("x"), Outcome{Dur: 1})
+	c.Get(Fingerprint("x")) // hit
+	c.Get(Fingerprint("y")) // miss
+	if err := c.FlushCounters(); err != nil {
+		t.Fatal(err)
+	}
+	// Flush resets the in-memory counts so a second flush adds nothing.
+	if err := c.FlushCounters(); err != nil {
+		t.Fatal(err)
+	}
+	tot, err := c.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Hits != 1 || tot.Misses != 1 || tot.Errors != 0 {
+		t.Fatalf("counters = %+v, want 1 hit 1 miss", tot)
+	}
+
+	// A second process sharing the directory folds its counts in.
+	c2, err := Open(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Get(Fingerprint("x"))
+	if err := c2.FlushCounters(); err != nil {
+		t.Fatal(err)
+	}
+	tot, err = c.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Hits != 2 {
+		t.Fatalf("cumulative hits = %d, want 2", tot.Hits)
+	}
+}
+
+func TestCountersSurviveGC(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCache(t, c, 2)
+	c.Get(Fingerprint("gc", 0))
+	if err := c.FlushCounters(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GC(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	tot, err := c.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Hits != 1 {
+		t.Fatalf("counters lost by gc: %+v", tot)
+	}
+}

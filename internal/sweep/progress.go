@@ -1,0 +1,62 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress prints one line per completed point with a completion
+// count and an ETA derived from the wall times the engine measures:
+// remaining points x mean measured wall time, divided by the worker
+// count. Cache hits complete in ~zero time, so they advance the count
+// without skewing the estimate.
+//
+// Observe is handed to Engine.OnResult, which already serialises
+// callback invocations; Progress itself holds no lock.
+type Progress struct {
+	w       io.Writer
+	label   string
+	total   int
+	workers int
+
+	done     int
+	measured int
+	wall     time.Duration
+}
+
+// NewProgress reports on a sweep of total points executed by workers
+// workers, prefixing every line with label.
+func NewProgress(w io.Writer, label string, total, workers int) *Progress {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Progress{w: w, label: label, total: total, workers: workers}
+}
+
+// Observe records one completed point and prints its progress line.
+func (p *Progress) Observe(r Result) {
+	p.done++
+	detail := " (cached)"
+	if !r.Cached {
+		p.measured++
+		p.wall += r.Wall
+		detail = fmt.Sprintf(" (%.1fs wall%s)", r.Wall.Seconds(), p.etaNote())
+	}
+	width := len(fmt.Sprintf("%d", p.total))
+	fmt.Fprintf(p.w, "%s: [%*d/%d] %s -> %v%s\n",
+		p.label, width, p.done, p.total, r.Key, r.Outcome.Dur, detail)
+}
+
+// etaNote estimates time to completion once at least one point has
+// been measured; with nothing measured yet (or nothing left) it
+// contributes nothing.
+func (p *Progress) etaNote() string {
+	remaining := p.total - p.done
+	if p.measured == 0 || remaining == 0 {
+		return ""
+	}
+	mean := p.wall / time.Duration(p.measured)
+	eta := mean * time.Duration(remaining) / time.Duration(p.workers)
+	return fmt.Sprintf(", ETA %v", eta.Round(time.Second))
+}

@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressCountsAndETA(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, "figX", 3, 1)
+
+	p.Observe(Result{Index: 0, Key: "a", Outcome: Outcome{Dur: 1000}, Wall: 2 * time.Second})
+	line := sb.String()
+	if !strings.Contains(line, "figX: [1/3] a ->") {
+		t.Fatalf("missing count prefix: %q", line)
+	}
+	if !strings.Contains(line, "2.0s wall") {
+		t.Fatalf("missing wall time: %q", line)
+	}
+	// One measured point at 2 s, two remaining, one worker: ETA 4 s.
+	if !strings.Contains(line, "ETA 4s") {
+		t.Fatalf("missing ETA: %q", line)
+	}
+
+	sb.Reset()
+	p.Observe(Result{Index: 1, Key: "b", Outcome: Outcome{Dur: 1000}, Cached: true})
+	line = sb.String()
+	if !strings.Contains(line, "[2/3]") || !strings.Contains(line, "(cached)") {
+		t.Fatalf("cached line wrong: %q", line)
+	}
+	if strings.Contains(line, "ETA") {
+		t.Fatalf("cached line should not carry an ETA: %q", line)
+	}
+
+	// The cache hit must not dilute the estimate: one point left,
+	// mean still 2 s.
+	sb.Reset()
+	p.Observe(Result{Index: 2, Key: "c", Outcome: Outcome{Dur: 1000}, Wall: 2 * time.Second})
+	line = sb.String()
+	if !strings.Contains(line, "[3/3]") {
+		t.Fatalf("final count wrong: %q", line)
+	}
+	if strings.Contains(line, "ETA") {
+		t.Fatalf("final line should not carry an ETA: %q", line)
+	}
+}
+
+func TestProgressAllCachedHasNoETA(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, "warm", 2, 4)
+	p.Observe(Result{Key: "a", Cached: true})
+	p.Observe(Result{Key: "b", Cached: true})
+	if strings.Contains(sb.String(), "ETA") {
+		t.Fatalf("all-cached run should never print an ETA:\n%s", sb.String())
+	}
+}
+
+func TestProgressDividesByWorkers(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, "par", 5, 2)
+	p.Observe(Result{Key: "a", Wall: 4 * time.Second})
+	// Mean 4 s, four remaining, two workers: ETA 8 s.
+	if !strings.Contains(sb.String(), "ETA 8s") {
+		t.Fatalf("worker-adjusted ETA wrong: %q", sb.String())
+	}
+}
+
+func TestEngineWorkers(t *testing.T) {
+	e := &Engine{Jobs: 4}
+	if got := e.Workers(10); got != 4 {
+		t.Fatalf("Workers(10) = %d, want 4", got)
+	}
+	if got := e.Workers(2); got != 2 {
+		t.Fatalf("Workers(2) = %d, want 2", got)
+	}
+	if got := e.Workers(0); got != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", got)
+	}
+}
+
+// TestEngineProgressIntegration drives Progress through a real engine
+// run: every point reports, counts reach n/n.
+func TestEngineProgressIntegration(t *testing.T) {
+	var sb strings.Builder
+	points := make([]Point, 4)
+	for i := range points {
+		points[i] = Point{Key: string(rune('a' + i)), Run: func() Outcome { return Outcome{Dur: 1} }}
+	}
+	eng := &Engine{Jobs: 2}
+	eng.OnResult = NewProgress(&sb, "int", len(points), eng.Workers(len(points))).Observe
+	eng.Run(points)
+	out := sb.String()
+	if strings.Count(out, "\n") != len(points) {
+		t.Fatalf("want %d progress lines, got:\n%s", len(points), out)
+	}
+	if !strings.Contains(out, "[4/4]") {
+		t.Fatalf("missing final count:\n%s", out)
+	}
+}

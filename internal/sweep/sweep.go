@@ -91,6 +91,19 @@ func (e *Engine) jobs() int {
 	return runtime.NumCPU()
 }
 
+// Workers returns the pool size the engine would use for a sweep of n
+// points — what an ETA estimate should divide by.
+func (e *Engine) Workers(n int) int {
+	w := e.jobs()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func (e *Engine) report(r Result) {
 	if e.OnResult == nil {
 		return
