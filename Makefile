@@ -8,12 +8,18 @@
 #                   the sweep worker pool with concurrent simulations)
 #   make examples - compile every example and command
 #   make smoke    - run a tiny manifest through `accesys sweep`
-#   make bench    - one pass over the benchmark harness
+#   make golden   - golden-row conformance suite (all nine experiments)
+#   make bench    - one pass over the benchmark harness (short mode)
+#   make cover    - coverage profile with a minimum total-coverage gate
 #   make figures  - regenerate every paper artifact (parallel, cached)
+#   make equiv    - timing-vs-analytic audit of every reproduced figure
 
 GO ?= go
 
-.PHONY: all build vet lint test race examples smoke ci bench figures clean
+.PHONY: all build vet lint test race examples smoke golden cover equiv ci bench figures clean
+
+# Minimum total statement coverage (percent) make cover enforces.
+COVER_FLOOR ?= 65
 
 all: build
 
@@ -29,8 +35,10 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# -short keeps this the fast pass: the golden suite and full-experiment
+# determinism checks only run in their dedicated targets (golden, race).
 test:
-	$(GO) test ./...
+	$(GO) test -short ./...
 
 race:
 	$(GO) test -race ./...
@@ -43,10 +51,28 @@ examples:
 smoke:
 	$(GO) run ./cmd/accesys sweep -nocache -jobs 2 testdata/smoke.json
 
-ci: lint vet race examples smoke
+# The golden suite re-runs all nine experiments and diffs their rows
+# against testdata/golden/ (it skips itself under -short and -race, so
+# this is its only CI entry point).
+golden:
+	$(GO) test -count=1 -run TestGolden ./internal/exp
+
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < floor+0) ? 1 : 0 }' || \
+	{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
+
+# Cross-backend equivalence audit of every reproduced figure (exit 1
+# on divergence beyond each scenario's fail band).
+equiv:
+	$(GO) run ./cmd/accesys equiv fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9
+
+ci: lint vet race examples smoke golden bench cover
 
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -short -bench=. -benchtime=1x -run '^$$' .
 
 figures: build
 	$(GO) run ./cmd/accesys run -v

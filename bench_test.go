@@ -10,12 +10,15 @@ import (
 	"io"
 	"testing"
 
+	"accesys/internal/analytic"
 	"accesys/internal/core"
 	"accesys/internal/dram"
 	"accesys/internal/driver"
 	"accesys/internal/exp"
 	"accesys/internal/pcie"
+	"accesys/internal/scenario"
 	"accesys/internal/sim"
+	"accesys/internal/sweep"
 	"accesys/internal/workload"
 )
 
@@ -155,6 +158,86 @@ func BenchmarkViTLayer(b *testing.B) {
 			b.Fatal("no rows")
 		}
 	}
+}
+
+// BenchmarkScenarioExpand measures the declarative layer's
+// cross-product expansion: the fixed cost every sweep, audit, and
+// manifest run pays before the first simulation starts.
+func BenchmarkScenarioExpand(b *testing.B) {
+	sc := scenario.MustBuiltin("fig4")
+	var runs int
+	for i := 0; i < b.N; i++ {
+		expanded, err := sc.Expand(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs = len(expanded)
+	}
+	b.ReportMetric(float64(runs), "points")
+}
+
+// BenchmarkWarmCacheSweep measures warm-cache sweep throughput: every
+// point is served from the on-disk result cache, so this is the
+// end-to-end cost of an `accesys sweep`/`accesys equiv` re-run over
+// already-simulated design points.
+func BenchmarkWarmCacheSweep(b *testing.B) {
+	cache, err := sweep.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := scenario.MustBuiltin("fig4")
+	runs, err := sc.Expand(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := sc.Points(runs)
+	for _, p := range points {
+		cache.Put(p.Fingerprint, sweep.Outcome{Dur: sim.Millisecond})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := &sweep.Engine{Jobs: 1, Cache: cache}
+		outs := eng.Run(points)
+		if outs[0].Dur != sim.Millisecond {
+			b.Fatal("cache miss in warm sweep")
+		}
+	}
+	b.ReportMetric(float64(len(points)), "points")
+}
+
+// BenchmarkCompositionSeries measures the analytic composition model's
+// sampling cost — the closed-form backend the equivalence harness runs
+// per design point.
+func BenchmarkCompositionSeries(b *testing.B) {
+	m := analytic.Composition{TOtherNs: 1000}
+	c := analytic.Config{Name: "bench", GEMMNs: 5e6, NonGEMMs: 2e6}
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		s := m.Series(c, 1024)
+		sum += s[len(s)-1]
+	}
+	if sum == 0 {
+		b.Fatal("model returned zeros")
+	}
+}
+
+// BenchmarkAnalyticBackend measures the full analytic evaluation of a
+// built-in matrix: what `accesys equiv` pays on top of (cached) timing
+// outcomes.
+func BenchmarkAnalyticBackend(b *testing.B) {
+	sc := scenario.MustBuiltin("fig4")
+	runs, err := sc.Expand(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, r := range runs {
+			if _, err := sc.AnalyticMetrics(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(runs)), "points")
 }
 
 // Guard: the paper's link presets must keep their raw bandwidth.

@@ -1,10 +1,11 @@
-// Command accesys regenerates the paper's evaluation artifacts and
-// runs manifest-driven sweeps.
+// Command accesys regenerates the paper's evaluation artifacts, runs
+// manifest-driven sweeps, and audits timing-vs-analytic equivalence.
 //
 // Usage:
 //
 //	accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]
 //	accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...
+//	accesys equiv [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-tol f] [-warn f] [-json] manifest.json|experiment ...
 //	accesys cachestats [-cache dir] [-gc] [-maxage d] [-maxentries n]
 //	accesys list
 //
@@ -21,6 +22,15 @@
 // built-in matrix emits rows byte-identical to the built-in
 // experiment, because both reach the same renderer.
 //
+// equiv is the cross-backend equivalence harness: it runs the same
+// expanded points through the timing simulation and the closed-form
+// analytic models (parameterized from the same configuration) and
+// reports per-point relative divergence against tolerance bands
+// (pass / warn / fail). Arguments are manifests or built-in
+// experiment ids; warm cache outcomes satisfy the timing side without
+// re-simulating. Exit status 1 when any point diverges beyond the
+// fail band. -json emits machine-readable reports instead of tables.
+//
 // Every run matrix executes on the parallel sweep engine: -jobs
 // bounds the worker pool (default: all CPUs) and completed runs are
 // memoised in an on-disk cache keyed by the run's full configuration,
@@ -35,14 +45,18 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"accesys/internal/equiv"
 	"accesys/internal/exp"
 	"accesys/internal/scenario"
 	"accesys/internal/sweep"
@@ -57,7 +71,27 @@ func defaultCacheDir() string {
 	return ".accesys-cache"
 }
 
-// sweepFlags are the execution flags shared by run and sweep.
+// app carries the command's output streams so tests can run any
+// subcommand in-process and assert on exit codes and output.
+type app struct {
+	stdout io.Writer
+	stderr io.Writer
+}
+
+// Exit codes: 0 success, 1 failed equivalence audit (points diverged
+// beyond the fail band), 2 usage or execution error.
+const (
+	exitOK   = 0
+	exitFail = 1
+	usageErr = 2
+)
+
+func (a *app) errorf(format string, args ...any) int {
+	fmt.Fprintf(a.stderr, "accesys: "+format+"\n", args...)
+	return usageErr
+}
+
+// sweepFlags are the execution flags shared by run, sweep, and equiv.
 type sweepFlags struct {
 	full    *bool
 	verbose *bool
@@ -78,12 +112,12 @@ func addSweepFlags(fs *flag.FlagSet) *sweepFlags {
 
 // options opens the cache (unless disabled) and assembles the shared
 // execution options.
-func (f *sweepFlags) options() scenario.Options {
-	opt := scenario.Options{Full: *f.full, Verbose: *f.verbose, Out: os.Stderr, Jobs: *f.jobs}
+func (a *app) options(f *sweepFlags) scenario.Options {
+	opt := scenario.Options{Full: *f.full, Verbose: *f.verbose, Out: a.stderr, Jobs: *f.jobs}
 	if !*f.nocache {
 		cache, err := sweep.OpenSalted(*f.cache)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "accesys: result cache disabled: %v\n", err)
+			fmt.Fprintf(a.stderr, "accesys: result cache disabled: %v\n", err)
 		} else {
 			opt.Cache = cache
 		}
@@ -93,42 +127,61 @@ func (f *sweepFlags) options() scenario.Options {
 
 // finish folds this process's cache counters into the persisted totals
 // (backing `accesys cachestats`) and reports them when verbose.
-func finish(opt scenario.Options) {
+func (a *app) finish(opt scenario.Options) {
 	if opt.Cache == nil {
 		return
 	}
 	hits, misses, errors := opt.Cache.Stats()
 	if opt.Verbose {
-		fmt.Fprintf(os.Stderr, "accesys: cache %s: %d hits, %d misses, %d errors\n",
+		fmt.Fprintf(a.stderr, "accesys: cache %s: %d hits, %d misses, %d errors\n",
 			opt.Cache.Dir(), hits, misses, errors)
 	}
 	if err := opt.Cache.FlushCounters(); err != nil {
-		fmt.Fprintf(os.Stderr, "accesys: persisting cache counters: %v\n", err)
+		fmt.Fprintf(a.stderr, "accesys: persisting cache counters: %v\n", err)
 	}
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "accesys: "+format+"\n", args...)
-	os.Exit(2)
+// newFlagSet builds a flag set that reports usage on the app's stderr
+// without exiting the process.
+func (a *app) newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(a.stderr)
+	return fs
 }
 
-func cmdRun(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+// parse runs the flag set and maps the outcome to an exit code: -1 to
+// continue, exitOK for an explicit -h/-help (usage was printed, and
+// flag.ExitOnError historically exited 0 there), usageErr for bad
+// flags.
+func parse(fs *flag.FlagSet, args []string) int {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return -1
+	case errors.Is(err, flag.ErrHelp):
+		return exitOK
+	default:
+		return usageErr
+	}
+}
+
+func (a *app) cmdRun(args []string) int {
+	fs := a.newFlagSet("run")
 	f := addSweepFlags(fs)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: %s (default: all)\n", strings.Join(exp.IDs(), " "))
+		fmt.Fprintf(a.stderr, "usage: accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]\n")
+		fmt.Fprintf(a.stderr, "experiments: %s (default: all)\n", strings.Join(exp.IDs(), " "))
 		fs.PrintDefaults()
 	}
-	fs.Parse(args)
-
-	if *list {
-		cmdList(nil)
-		return
+	if code := parse(fs, args); code >= 0 {
+		return code
 	}
 
-	opt := f.options()
+	if *list {
+		return a.cmdList(nil)
+	}
+
+	opt := a.options(f)
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = exp.IDs()
@@ -136,144 +189,235 @@ func cmdRun(args []string) {
 	for _, id := range ids {
 		expf, ok := exp.ByID(id)
 		if !ok {
-			fatalf("unknown experiment %q (want one of %s)", id, strings.Join(exp.IDs(), " "))
+			return a.errorf("unknown experiment %q (want one of %s)", id, strings.Join(exp.IDs(), " "))
 		}
 		start := time.Now()
 		res := expf(opt)
 		res.Note("wall time: %.1fs", time.Since(start).Seconds())
-		res.Fprint(os.Stdout)
+		res.Fprint(a.stdout)
 	}
-	finish(opt)
+	a.finish(opt)
+	return exitOK
 }
 
-func cmdSweep(args []string) {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+func (a *app) cmdSweep(args []string) int {
+	fs := a.newFlagSet("sweep")
 	f := addSweepFlags(fs)
 	csvPath := fs.String("csv", "", "also write the table as CSV to this file (single manifest only)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...\n")
+		fmt.Fprintf(a.stderr, "usage: accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...\n")
 		fs.PrintDefaults()
 	}
-	fs.Parse(args)
+	if code := parse(fs, args); code >= 0 {
+		return code
+	}
 
 	manifests := fs.Args()
 	if len(manifests) == 0 {
 		fs.Usage()
-		os.Exit(2)
+		return usageErr
 	}
 	if *csvPath != "" && len(manifests) != 1 {
-		fatalf("-csv needs exactly one manifest, have %d", len(manifests))
+		return a.errorf("-csv needs exactly one manifest, have %d", len(manifests))
 	}
 
-	opt := f.options()
+	opt := a.options(f)
 	for _, path := range manifests {
 		sc, err := scenario.Load(path)
 		if err != nil {
-			fatalf("%v", err)
+			return a.errorf("%v", err)
 		}
 		start := time.Now()
 		res, err := sc.Run(opt)
 		if err != nil {
-			fatalf("%v", err)
+			return a.errorf("%v", err)
 		}
 		res.Note("wall time: %.1fs", time.Since(start).Seconds())
-		res.Fprint(os.Stdout)
+		res.Fprint(a.stdout)
 		if *csvPath != "" {
-			w, err := os.Create(*csvPath)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			if err := res.WriteCSV(w); err != nil {
-				fatalf("writing %s: %v", *csvPath, err)
-			}
-			if err := w.Close(); err != nil {
-				fatalf("writing %s: %v", *csvPath, err)
+			if code := a.writeCSV(*csvPath, res); code != exitOK {
+				return code
 			}
 		}
 	}
-	finish(opt)
+	a.finish(opt)
+	return exitOK
 }
 
-func cmdCachestats(args []string) {
-	fs := flag.NewFlagSet("cachestats", flag.ExitOnError)
+func (a *app) writeCSV(path string, res *scenario.Result) int {
+	w, err := os.Create(path)
+	if err != nil {
+		return a.errorf("%v", err)
+	}
+	if err := res.WriteCSV(w); err != nil {
+		w.Close()
+		return a.errorf("writing %s: %v", path, err)
+	}
+	if err := w.Close(); err != nil {
+		return a.errorf("writing %s: %v", path, err)
+	}
+	return exitOK
+}
+
+// cmdEquiv audits scenarios (manifests or built-in experiment ids)
+// with the cross-backend equivalence harness.
+func (a *app) cmdEquiv(args []string) int {
+	fs := a.newFlagSet("equiv")
+	f := addSweepFlags(fs)
+	tol := fs.Float64("tol", 0, "fail when relative divergence exceeds this (0 = scenario/default bands)")
+	warn := fs.Float64("warn", 0, "warn when relative divergence exceeds this (0 = scenario/default bands)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON reports instead of tables")
+	fs.Usage = func() {
+		fmt.Fprintf(a.stderr, "usage: accesys equiv [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-tol f] [-warn f] [-json] manifest.json|experiment ...\n")
+		fmt.Fprintf(a.stderr, "experiments: %s\n", strings.Join(exp.IDs(), " "))
+		fs.PrintDefaults()
+	}
+	if code := parse(fs, args); code >= 0 {
+		return code
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		fs.Usage()
+		return usageErr
+	}
+	if *tol < 0 || *warn < 0 || (*tol > 0 && *warn > *tol) {
+		return a.errorf("tolerances must satisfy 0 <= warn <= tol")
+	}
+
+	opt := a.options(f)
+	cli := equiv.Tolerances{Tol: *tol, Warn: *warn}
+	failed := false
+	var reports []*equiv.Report
+	for _, target := range targets {
+		sc, ok := exp.Matrix(target)
+		if !ok {
+			var err error
+			sc, err = scenario.Load(target)
+			if err != nil {
+				return a.errorf("%q is neither a built-in experiment nor a loadable manifest: %v", target, err)
+			}
+		}
+		rep, err := equiv.Run(sc, opt, cli)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		reports = append(reports, rep)
+		if !rep.OK() {
+			failed = true
+		}
+		if !*asJSON {
+			rep.Result().Fprint(a.stdout)
+		}
+	}
+	if *asJSON {
+		if code := a.printJSON(reports); code != exitOK {
+			return code
+		}
+	}
+	a.finish(opt)
+	if failed {
+		return exitFail
+	}
+	return exitOK
+}
+
+// printJSON emits the reports as one JSON array, all or nothing — a
+// failed encode must never leave partial output on stdout.
+func (a *app) printJSON(reports []*equiv.Report) int {
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return a.errorf("encoding reports: %v", err)
+	}
+	fmt.Fprintln(a.stdout, string(data))
+	return exitOK
+}
+
+func (a *app) cmdCachestats(args []string) int {
+	fs := a.newFlagSet("cachestats")
 	dir := fs.String("cache", defaultCacheDir(), "result cache directory")
 	gc := fs.Bool("gc", false, "evict entries by age and count")
 	maxAge := fs.Duration("maxage", 30*24*time.Hour, "with -gc: evict entries older than this (0 = no age bound)")
 	maxEntries := fs.Int("maxentries", 0, "with -gc: keep at most this many newest entries (0 = unbounded)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: accesys cachestats [-cache dir] [-gc] [-maxage d] [-maxentries n]\n")
+		fmt.Fprintf(a.stderr, "usage: accesys cachestats [-cache dir] [-gc] [-maxage d] [-maxentries n]\n")
 		fs.PrintDefaults()
 	}
-	fs.Parse(args)
+	if code := parse(fs, args); code >= 0 {
+		return code
+	}
 	if fs.NArg() != 0 {
 		fs.Usage()
-		os.Exit(2)
+		return usageErr
 	}
 
 	// Open unsalted: inspection and GC span entries from every binary
 	// that ever shared the directory.
 	cache, err := sweep.Open(*dir)
 	if err != nil {
-		fatalf("%v", err)
+		return a.errorf("%v", err)
 	}
 
 	if *gc {
 		res, err := cache.GC(*maxAge, *maxEntries)
 		if err != nil {
-			fatalf("gc: %v", err)
+			return a.errorf("gc: %v", err)
 		}
-		fmt.Printf("gc: scanned %d entries, evicted %d (%d bytes), removed %d stale temp files\n",
+		fmt.Fprintf(a.stdout, "gc: scanned %d entries, evicted %d (%d bytes), removed %d stale temp files\n",
 			res.Scanned, res.Evicted, res.EvictedBytes, res.Temps)
 	}
 
 	entries, bytes, err := cache.Usage()
 	if err != nil {
-		fatalf("%v", err)
+		return a.errorf("%v", err)
 	}
 	counters, err := cache.Counters()
 	if err != nil {
-		fatalf("%v", err)
+		return a.errorf("%v", err)
 	}
-	fmt.Printf("cache %s\n", cache.Dir())
-	fmt.Printf("  entries: %d\n", entries)
-	fmt.Printf("  bytes:   %d\n", bytes)
-	fmt.Printf("  hits:    %d\n", counters.Hits)
-	fmt.Printf("  misses:  %d\n", counters.Misses)
-	fmt.Printf("  errors:  %d\n", counters.Errors)
+	fmt.Fprintf(a.stdout, "cache %s\n", cache.Dir())
+	fmt.Fprintf(a.stdout, "  entries: %d\n", entries)
+	fmt.Fprintf(a.stdout, "  bytes:   %d\n", bytes)
+	fmt.Fprintf(a.stdout, "  hits:    %d\n", counters.Hits)
+	fmt.Fprintf(a.stdout, "  misses:  %d\n", counters.Misses)
+	fmt.Fprintf(a.stdout, "  errors:  %d\n", counters.Errors)
+	return exitOK
 }
 
-func cmdList(args []string) {
+func (a *app) cmdList(args []string) int {
 	if len(args) != 0 {
-		fatalf("list takes no arguments")
+		return a.errorf("list takes no arguments")
 	}
 	for _, id := range exp.IDs() {
-		fmt.Println(id)
+		fmt.Fprintln(a.stdout, id)
 	}
+	return exitOK
 }
 
-func main() {
-	args := os.Args[1:]
+// main dispatches a subcommand; a bare flag list runs `run` (the
+// historical interface).
+func (a *app) main(args []string) int {
 	if len(args) > 0 {
 		switch args[0] {
 		case "run":
-			cmdRun(args[1:])
-			return
+			return a.cmdRun(args[1:])
 		case "sweep":
-			cmdSweep(args[1:])
-			return
+			return a.cmdSweep(args[1:])
+		case "equiv":
+			return a.cmdEquiv(args[1:])
 		case "cachestats":
-			cmdCachestats(args[1:])
-			return
+			return a.cmdCachestats(args[1:])
 		case "list":
-			cmdList(args[1:])
-			return
+			return a.cmdList(args[1:])
 		case "help", "-h", "-help", "--help":
-			fmt.Fprintf(os.Stderr, "usage: accesys [run|sweep|cachestats|list] ...\n")
-			fmt.Fprintf(os.Stderr, "run 'accesys <command> -h' for command flags; a bare flag list runs `run`\n")
-			os.Exit(2)
+			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|cachestats|list] ...\n")
+			fmt.Fprintf(a.stderr, "run 'accesys <command> -h' for command flags; a bare flag list runs `run`\n")
+			return usageErr
 		}
 	}
-	// Historical interface: flags and experiment ids without a
-	// subcommand behave like `run`.
-	cmdRun(args)
+	return a.cmdRun(args)
+}
+
+func main() {
+	a := &app{stdout: os.Stdout, stderr: os.Stderr}
+	os.Exit(a.main(os.Args[1:]))
 }

@@ -67,6 +67,31 @@ type Config struct {
 	ComputeOverride sim.Tick
 }
 
+// Resolved returns the configuration with every zero field replaced
+// by the default New would apply — the values an assembled MatrixFlow
+// actually runs with. Analytic models derive blocking geometry and
+// clocking from this.
+func (c Config) Resolved() Config {
+	if c.ClockMHz == 0 {
+		c.ClockMHz = 1000
+	}
+	if c.LocalBufBytes == 0 {
+		c.LocalBufBytes = 1 << 20
+	}
+	if c.Backend == nil {
+		c.Backend = TileModel{}
+	}
+	if c.CSRLatency == 0 {
+		c.CSRLatency = 4 * sim.Nanosecond
+	}
+	if c.DevDMA.BurstBytes == 0 {
+		c.DevDMA.BurstBytes = 64
+	}
+	c.HostDMA = c.HostDMA.Resolved()
+	c.DevDMA = c.DevDMA.Resolved()
+	return c
+}
+
 // JobResult summarizes one completed GEMM.
 type JobResult struct {
 	Start, End  sim.Tick
@@ -135,23 +160,9 @@ type MatrixFlow struct {
 // endpoint, DevDMAPort to the device-memory fabric, and CSRPort to the
 // device-internal bus serving the BAR range.
 func New(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config) *MatrixFlow {
-	if cfg.ClockMHz == 0 {
-		cfg.ClockMHz = 1000
-	}
-	if cfg.LocalBufBytes == 0 {
-		cfg.LocalBufBytes = 1 << 20
-	}
-	if cfg.Backend == nil {
-		cfg.Backend = TileModel{}
-	}
-	if cfg.CSRLatency == 0 {
-		cfg.CSRLatency = 4 * sim.Nanosecond
-	}
+	cfg = cfg.Resolved()
 	if cfg.BAR.Size() == 0 {
 		panic(fmt.Sprintf("accel %s: BAR range required", name))
-	}
-	if cfg.DevDMA.BurstBytes == 0 {
-		cfg.DevDMA.BurstBytes = 64
 	}
 
 	m := &MatrixFlow{name: name, eq: eq, cfg: cfg, clock: sim.NewClock(cfg.ClockMHz)}

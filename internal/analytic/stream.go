@@ -1,0 +1,149 @@
+package analytic
+
+// Closed-form steady-state model of burst streaming across the
+// two-hop PCIe fabric (EP <-> Switch <-> RC). The timing simulation
+// moves payload as TLPs with header overhead, per-hop
+// store-and-forward latency and initiation intervals, and credit-gated
+// receiver buffers; in steady state a long stream settles into a fixed
+// per-burst interval set by whichever of those mechanisms is the
+// bottleneck. This file computes that interval from the same
+// configuration constants the simulator runs with, so the analytic
+// backend tracks the timing backend without fitted parameters.
+
+// Fabric carries the resolved PCIe constants the stream model needs
+// (all latencies in nanoseconds, bandwidths in GB/s = bytes/ns).
+type Fabric struct {
+	// EffGBps is the post-encoding bandwidth of each link.
+	EffGBps float64
+	// HeaderBytes is the per-TLP wire overhead.
+	HeaderBytes int
+	// PropNs is the per-link flight latency.
+	PropNs float64
+
+	// Per-hop store-and-forward processing latencies.
+	RCNs, SwitchNs, EPNs float64
+	// Per-hop initiation intervals (one TLP per II per direction).
+	RCIINs, SwitchIINs, EPIINs float64
+
+	// Receiver buffer capacities gating credit flow control.
+	RCBufBytes, SwitchBufBytes, EPBufBytes int
+}
+
+// SerNs returns the serialization time of n wire bytes on one link.
+func (f Fabric) SerNs(n int) float64 { return float64(n) / f.EffGBps }
+
+// hop is one credit-gated conn traversal: the sender's transmission
+// holds `claim` bytes of the receiver's buffer (capacity cap) until the
+// TLP has fully left the receiving hop again, which takes holdNs.
+func creditIntervalNs(claim, cap int, holdNs float64) float64 {
+	if claim > cap {
+		claim = cap
+	}
+	window := cap / claim
+	if window < 1 {
+		window = 1
+	}
+	return holdNs / float64(window)
+}
+
+// Stream is one steady DMA payload stream: bursts of PayloadBytes
+// flowing through the fabric, bounded additionally by the memory
+// system behind the far end and by the DMA engine's request window.
+type Stream struct {
+	Fabric Fabric
+	// PayloadBytes is the DMA burst (request packet) size.
+	PayloadBytes int
+	// Read selects direction: true models MemRd requests upstream with
+	// payload-carrying completions flowing RC -> Switch -> EP; false
+	// models posted MemWr TLPs flowing EP -> Switch -> RC.
+	Read bool
+	// MemGBps bounds the stream at the far memory system.
+	MemGBps float64
+	// MemLatNs is the far memory access latency (round-trip fill term).
+	MemLatNs float64
+	// WindowBytes bounds in-flight bytes per DMA channel (reads only;
+	// posted writes are not window-limited by completions).
+	WindowBytes int
+}
+
+// tlpBytes is the wire size of one payload-carrying TLP.
+func (s Stream) tlpBytes() int { return s.PayloadBytes + s.Fabric.HeaderBytes }
+
+// IntervalNs returns the steady-state time between consecutive bursts:
+// the maximum over every rate-limiting mechanism on the path.
+func (s Stream) IntervalNs() float64 {
+	f := s.Fabric
+	wire := s.tlpBytes()
+	ser := f.SerNs(wire)
+
+	// Each link serializes one TLP at a time.
+	interval := ser
+
+	// Hop initiation intervals.
+	for _, ii := range []float64{f.RCIINs, f.SwitchIINs, f.EPIINs} {
+		if ii > interval {
+			interval = ii
+		}
+	}
+
+	// Credit flow control. The first conn's claim is released once the
+	// switch has fully retransmitted the TLP on the second conn
+	// (store-and-forward), so one TLP holds first-conn credit for two
+	// serializations plus the switch latency. The second conn's claim
+	// is released after the receiving bridge's processing latency.
+	var firstCap, secondCap int
+	var secondHold float64
+	if s.Read {
+		// Completions: RC -> switch (switch buffer), switch -> EP.
+		firstCap, secondCap = f.SwitchBufBytes, f.EPBufBytes
+		secondHold = ser + f.PropNs + f.EPNs
+	} else {
+		// Posted writes: EP -> switch, switch -> RC.
+		firstCap, secondCap = f.SwitchBufBytes, f.RCBufBytes
+		secondHold = ser + f.PropNs + f.RCNs
+	}
+	firstHold := ser + f.PropNs + f.SwitchNs + ser
+	if c := creditIntervalNs(wire, firstCap, firstHold); c > interval {
+		interval = c
+	}
+	if c := creditIntervalNs(wire, secondCap, secondHold); c > interval {
+		interval = c
+	}
+
+	// Far memory bandwidth.
+	if s.MemGBps > 0 {
+		if m := float64(s.PayloadBytes) / s.MemGBps; m > interval {
+			interval = m
+		}
+	}
+
+	// Request window: reads keep at most WindowBytes in flight per
+	// channel, so throughput cannot exceed window / round-trip.
+	if s.Read && s.WindowBytes > 0 {
+		outstanding := s.WindowBytes / s.PayloadBytes
+		if outstanding < 1 {
+			outstanding = 1
+		}
+		if w := s.RoundTripNs() / float64(outstanding); w > interval {
+			interval = w
+		}
+	}
+	return interval
+}
+
+// NsPerByte is the steady-state cost of one payload byte.
+func (s Stream) NsPerByte() float64 {
+	return s.IntervalNs() / float64(s.PayloadBytes)
+}
+
+// RoundTripNs returns the unloaded request-to-completion latency of
+// one read burst: header-only request up, memory access, full
+// completion down, including every store-and-forward hop.
+func (s Stream) RoundTripNs() float64 {
+	f := s.Fabric
+	hdr := f.SerNs(f.HeaderBytes)
+	full := f.SerNs(s.tlpBytes())
+	req := f.EPNs + hdr + f.PropNs + f.SwitchNs + hdr + f.PropNs + f.RCNs
+	cpl := f.RCNs + full + f.PropNs + f.SwitchNs + full + f.PropNs + f.EPNs
+	return req + s.MemLatNs + cpl
+}

@@ -170,6 +170,17 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Resolved returns the configuration with every zero field replaced
+// by its Table II default — the values Build actually assembles. The
+// analytic backend derives its model parameters from this so it can
+// never drift from the timing simulation's defaulting.
+func (c Config) Resolved() Config {
+	c.setDefaults()
+	c.Accel = c.Accel.Resolved()
+	c.PCIe = c.PCIe.Resolved()
+	return c
+}
+
 // FingerprintParts returns the canonical cache-key material for the
 // config: the struct itself plus a type tag for every interface-valued
 // field. JSON encodes interfaces by content only, so two Backend

@@ -16,6 +16,17 @@ import (
 	"accesys/internal/stats"
 )
 
+// Cache hierarchy latencies Build wires in (shared with the analytic
+// backend, which models the coherent path from the same values).
+const (
+	// L1HitLatency is the L1 data/instruction lookup time.
+	L1HitLatency = 2 * sim.Nanosecond
+	// LLCHitLatency is the shared last-level cache lookup time.
+	LLCHitLatency = 10 * sim.Nanosecond
+	// IOCacheHitLatency is the DMA-path cache lookup time.
+	IOCacheHitLatency = 4 * sim.Nanosecond
+)
+
 // System is a fully wired AcceSys platform.
 type System struct {
 	Cfg   Config
@@ -76,7 +87,7 @@ func Build(cfg Config) *System {
 	s.LLC = cache.New(n+".llc", eq, reg, cache.Config{
 		SizeBytes:     cfg.LLCBytes,
 		Assoc:         16,
-		HitLatency:    10 * sim.Nanosecond,
+		HitLatency:    LLCHitLatency,
 		MSHRs:         64,
 		MemQueueDepth: 64,
 	})
@@ -95,13 +106,13 @@ func Build(cfg Config) *System {
 	s.L1D = cache.New(n+".l1d", eq, reg, cache.Config{
 		SizeBytes:  cfg.L1DBytes,
 		Assoc:      4,
-		HitLatency: 2 * sim.Nanosecond,
+		HitLatency: L1HitLatency,
 		MSHRs:      16,
 	})
 	s.L1I = cache.New(n+".l1i", eq, reg, cache.Config{
 		SizeBytes:  cfg.L1IBytes,
 		Assoc:      4,
-		HitLatency: 2 * sim.Nanosecond,
+		HitLatency: L1HitLatency,
 		MSHRs:      8,
 	})
 	mem.Bind(s.CPU.Port(), s.L1D.CPUPort())
@@ -138,7 +149,7 @@ func Build(cfg Config) *System {
 	s.IOCache = cache.New(n+".iocache", eq, reg, cache.Config{
 		SizeBytes:     cfg.IOCacheB,
 		Assoc:         4,
-		HitLatency:    4 * sim.Nanosecond,
+		HitLatency:    IOCacheHitLatency,
 		MSHRs:         128,
 		MemQueueDepth: 128,
 	})

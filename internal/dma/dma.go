@@ -49,6 +49,14 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Resolved returns the configuration with every zero field replaced
+// by its default — what an Engine actually runs with. Analytic models
+// derive burst and window constants from this.
+func (c Config) Resolved() Config {
+	c.setDefaults()
+	return c
+}
+
 // transfer is one queued descriptor.
 type transfer struct {
 	isWrite bool

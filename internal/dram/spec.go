@@ -80,6 +80,38 @@ func (s Spec) PeakBandwidthGBps() float64 {
 // Cycles converts a cycle count to ticks for this spec.
 func (s Spec) Cycles(n int) sim.Tick { return sim.Tick(n) * s.TCK() }
 
+// AccessLatencyNs returns a representative random-access latency in
+// nanoseconds — activate, column access, and one data burst — the
+// closed-bank service time analytic models use as the memory fill
+// term.
+func (s Spec) AccessLatencyNs() float64 {
+	return (s.Cycles(s.RCD + s.CL).Nanoseconds()) + s.BurstTicks().Nanoseconds()
+}
+
+// StreamBandwidthGBps returns the sustainable row-hit streaming
+// bandwidth: consecutive column bursts are spaced by the larger of the
+// data-bus occupancy and the column-to-column constraint tCCD, so
+// specs whose tCCD exceeds the burst time (e.g. LPDDR5) sustain less
+// than their pin-rate peak.
+func (s Spec) StreamBandwidthGBps() float64 {
+	gap := s.BurstTicks()
+	if ccd := s.Cycles(s.CCD); ccd > gap {
+		gap = ccd
+	}
+	return float64(s.Channels) * float64(s.BurstBytes()) / gap.Nanoseconds()
+}
+
+// InterleavedStreamGBps returns the sustainable bandwidth when
+// several sequential streams interleave on the channel (a multi-channel
+// DMA plus CPU traffic): each row's worth of data additionally pays one
+// precharge + activate, because the interleaving breaks pure row-hit
+// locality at row granularity.
+func (s Spec) InterleavedStreamGBps() float64 {
+	rowNs := float64(s.RowBytes) / s.StreamBandwidthGBps() * float64(s.Channels)
+	actNs := s.Cycles(s.RP + s.RCD).Nanoseconds()
+	return float64(s.Channels) * float64(s.RowBytes) / (rowNs + actNs)
+}
+
 // Validate reports configuration errors.
 func (s Spec) Validate() error {
 	switch {

@@ -1,0 +1,360 @@
+// Package equiv is the cross-backend equivalence harness: it runs the
+// same expanded scenario points through the timing backend (the event
+// simulation, via the sweep engine and its result cache) and the
+// analytic backend (the closed-form models of internal/analytic,
+// parameterized from the same core.Config), normalizes both into
+// Observation records, and reports per-point relative divergence
+// against configurable tolerance bands. The ROADMAP names this check
+// as the mechanism that turns the result cache from a speedup into a
+// validation asset: warm cache outcomes are compared without
+// re-simulating.
+package equiv
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"accesys/internal/scenario"
+	"accesys/internal/sweep"
+)
+
+// Default tolerance bands: a point fails beyond Tol and warns beyond
+// Warn. Scenarios override them via their AnalyticSpec; the CLI's
+// -tol/-warn flags override both.
+const (
+	DefaultTol  = 0.15
+	DefaultWarn = 0.075
+)
+
+// Backend names the two sides of every comparison.
+const (
+	BackendTiming   = "timing"
+	BackendAnalytic = "analytic"
+)
+
+// Observation is one normalized measurement: a backend's value for one
+// metric of one design point. Fingerprint is the point's cache-key
+// material, so observations from different processes (or from warm
+// cache entries) align on content, not on run order.
+type Observation struct {
+	Fingerprint string  `json:"fingerprint"`
+	Point       string  `json:"point"`
+	Backend     string  `json:"backend"`
+	Metric      string  `json:"metric"`
+	Value       float64 `json:"value"` // nanoseconds
+}
+
+// Status classifies one comparison against the tolerance bands.
+type Status string
+
+// Comparison statuses, ordered by severity.
+const (
+	Pass Status = "pass"
+	Warn Status = "warn"
+	Fail Status = "fail"
+)
+
+// Comparison is the per-point, per-metric divergence record.
+type Comparison struct {
+	Point    string  `json:"point"`
+	Metric   string  `json:"metric"`
+	Timing   float64 `json:"timing_ns"`
+	Analytic float64 `json:"analytic_ns"`
+	// Rel is |timing-analytic| / timing. It is NaN for a
+	// missing-counterpart failure and +Inf for a zero timing baseline;
+	// JSON (which cannot carry non-finite numbers) encodes those as
+	// null.
+	Rel    float64 `json:"rel"`
+	Status Status  `json:"status"`
+}
+
+// comparisonJSON is Comparison's wire form: rel becomes nullable so
+// non-finite divergences survive encoding instead of failing
+// json.Marshal exactly when the audit found a conformance break.
+type comparisonJSON struct {
+	Point    string   `json:"point"`
+	Metric   string   `json:"metric"`
+	Timing   float64  `json:"timing_ns"`
+	Analytic float64  `json:"analytic_ns"`
+	Rel      *float64 `json:"rel"`
+	Status   Status   `json:"status"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Comparison) MarshalJSON() ([]byte, error) {
+	out := comparisonJSON{Point: c.Point, Metric: c.Metric,
+		Timing: c.Timing, Analytic: c.Analytic, Status: c.Status}
+	if !math.IsNaN(c.Rel) && !math.IsInf(c.Rel, 0) {
+		out.Rel = &c.Rel
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler: a null rel reads back as
+// NaN.
+func (c *Comparison) UnmarshalJSON(data []byte) error {
+	var in comparisonJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*c = Comparison{Point: in.Point, Metric: in.Metric,
+		Timing: in.Timing, Analytic: in.Analytic, Status: in.Status, Rel: math.NaN()}
+	if in.Rel != nil {
+		c.Rel = *in.Rel
+	}
+	return nil
+}
+
+// Tolerances are the resolved comparison bands.
+type Tolerances struct {
+	Tol  float64 `json:"tol"`
+	Warn float64 `json:"warn"`
+}
+
+// Resolve fills unset bands from the scenario's AnalyticSpec and the
+// harness defaults: an explicit CLI value wins, then the scenario,
+// then DefaultTol/DefaultWarn (warn defaulting to half of a custom
+// fail threshold).
+func Resolve(cli Tolerances, spec *scenario.AnalyticSpec) Tolerances {
+	t := cli
+	if t.Tol == 0 && spec != nil {
+		t.Tol = spec.Tol
+	}
+	if t.Warn == 0 && spec != nil {
+		t.Warn = spec.Warn
+	}
+	if t.Tol == 0 {
+		t.Tol = DefaultTol
+	}
+	if t.Warn == 0 {
+		if t.Tol == DefaultTol {
+			t.Warn = DefaultWarn
+		} else {
+			t.Warn = t.Tol / 2
+		}
+	}
+	// Bands from different sources (CLI warn vs scenario/default tol)
+	// can invert; a warn band past the fail band collapses onto it
+	// rather than reclassifying failures.
+	if t.Warn > t.Tol {
+		t.Warn = t.Tol
+	}
+	return t
+}
+
+// Classify places one relative divergence in a band.
+func (t Tolerances) Classify(rel float64) Status {
+	switch {
+	case rel > t.Tol:
+		return Fail
+	case rel > t.Warn:
+		return Warn
+	default:
+		return Pass
+	}
+}
+
+// Report is the machine-readable result of one scenario audit.
+type Report struct {
+	Scenario    string       `json:"scenario"`
+	Tolerances  Tolerances   `json:"tolerances"`
+	Comparisons []Comparison `json:"comparisons"`
+	Passed      int          `json:"passed"`
+	Warned      int          `json:"warned"`
+	Failed      int          `json:"failed"`
+	// MaxRel is the worst divergence observed.
+	MaxRel float64 `json:"max_rel"`
+	// MeanRel is the mean divergence across comparisons.
+	MeanRel float64 `json:"mean_rel"`
+}
+
+// OK reports whether every comparison stayed inside the fail band.
+func (r *Report) OK() bool { return r.Failed == 0 }
+
+// JSON renders the report for machine consumption.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Result renders the report as a human table through the same
+// renderer the scenario sweeps print with.
+func (r *Report) Result() *scenario.Result {
+	res := &scenario.Result{
+		ID:      r.Scenario,
+		Title:   "timing vs analytic divergence",
+		Headers: []string{"point", "metric", "timing_ms", "analytic_ms", "rel", "status"},
+	}
+	for _, c := range r.Comparisons {
+		res.AddRow(c.Point, c.Metric,
+			fmt.Sprintf("%.3f", c.Timing/1e6),
+			fmt.Sprintf("%.3f", c.Analytic/1e6),
+			fmt.Sprintf("%+.1f%%", 100*signedRel(c)),
+			string(c.Status))
+	}
+	res.Note("%d pass, %d warn, %d fail (warn > %.1f%%, fail > %.1f%%)",
+		r.Passed, r.Warned, r.Failed, 100*r.Tolerances.Warn, 100*r.Tolerances.Tol)
+	res.Note("divergence: max %.1f%%, mean %.1f%%", 100*r.MaxRel, 100*r.MeanRel)
+	return res
+}
+
+// signedRel is the signed relative error (analytic fast = negative).
+func signedRel(c Comparison) float64 {
+	if c.Timing == 0 {
+		return 0
+	}
+	return (c.Analytic - c.Timing) / c.Timing
+}
+
+// TimingObservations normalizes swept outcomes into observations: the
+// primary duration becomes metric "exec"; a ViT outcome's split values
+// become "gemm" and "nongemm".
+func TimingObservations(points []sweep.Point, outs []sweep.Outcome) []Observation {
+	var obs []Observation
+	add := func(p sweep.Point, metric string, ns float64) {
+		obs = append(obs, Observation{
+			Fingerprint: p.Fingerprint,
+			Point:       p.Key,
+			Backend:     BackendTiming,
+			Metric:      metric,
+			Value:       ns,
+		})
+	}
+	for i, p := range points {
+		o := outs[i]
+		add(p, "exec", o.Dur.Nanoseconds())
+		if _, ok := o.Values["gemm"]; ok {
+			add(p, "gemm", o.Value("gemm")/1e3) // stored in ticks (ps)
+			add(p, "nongemm", o.Value("nongemm")/1e3)
+		}
+	}
+	return obs
+}
+
+// AnalyticObservations evaluates the analytic backend for every run.
+func AnalyticObservations(sc *scenario.Scenario, runs []scenario.Run, points []sweep.Point) ([]Observation, error) {
+	var obs []Observation
+	for i, r := range runs {
+		metrics, err := sc.AnalyticMetrics(r)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(metrics))
+		for name := range metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			obs = append(obs, Observation{
+				Fingerprint: points[i].Fingerprint,
+				Point:       r.Key,
+				Backend:     BackendAnalytic,
+				Metric:      name,
+				Value:       metrics[name],
+			})
+		}
+	}
+	return obs, nil
+}
+
+// Compare joins the two observation sets on (fingerprint, metric) and
+// classifies each pair. Observations missing a counterpart are
+// reported as failures with a NaN divergence — a backend that cannot
+// speak to a point is a conformance break, not a silent skip.
+func Compare(timing, an []Observation, tol Tolerances) []Comparison {
+	type key struct{ fp, metric string }
+	index := make(map[key]Observation, len(an))
+	for _, o := range an {
+		index[key{o.Fingerprint, o.Metric}] = o
+	}
+	var comps []Comparison
+	seen := make(map[key]bool, len(timing))
+	for _, t := range timing {
+		k := key{t.Fingerprint, t.Metric}
+		seen[k] = true
+		a, ok := index[k]
+		if !ok {
+			comps = append(comps, Comparison{Point: t.Point, Metric: t.Metric,
+				Timing: t.Value, Rel: math.NaN(), Status: Fail})
+			continue
+		}
+		rel := 0.0
+		if t.Value != 0 {
+			rel = math.Abs(t.Value-a.Value) / t.Value
+		} else if a.Value != 0 {
+			rel = math.Inf(1)
+		}
+		comps = append(comps, Comparison{
+			Point:    t.Point,
+			Metric:   t.Metric,
+			Timing:   t.Value,
+			Analytic: a.Value,
+			Rel:      rel,
+			Status:   tol.Classify(rel),
+		})
+	}
+	for _, a := range an {
+		k := key{a.Fingerprint, a.Metric}
+		if !seen[k] {
+			comps = append(comps, Comparison{Point: a.Point, Metric: a.Metric,
+				Analytic: a.Value, Rel: math.NaN(), Status: Fail})
+		}
+	}
+	return comps
+}
+
+// Summarize folds comparisons into a report. Non-finite divergences
+// (NaN for a missing counterpart, +Inf for a zero timing baseline)
+// count as failures but are excluded from the divergence statistics
+// entirely — diluting the mean with zeros would understate divergence
+// exactly when the audit is most broken, and MaxRel/MeanRel must stay
+// JSON-encodable.
+func Summarize(name string, tol Tolerances, comps []Comparison) *Report {
+	r := &Report{Scenario: name, Tolerances: tol, Comparisons: comps}
+	var sum float64
+	var measured int
+	for _, c := range comps {
+		switch c.Status {
+		case Pass:
+			r.Passed++
+		case Warn:
+			r.Warned++
+		default:
+			r.Failed++
+		}
+		if math.IsNaN(c.Rel) || math.IsInf(c.Rel, 0) {
+			continue
+		}
+		if c.Rel > r.MaxRel {
+			r.MaxRel = c.Rel
+		}
+		sum += c.Rel
+		measured++
+	}
+	if measured > 0 {
+		r.MeanRel = sum / float64(measured)
+	}
+	return r
+}
+
+// Run audits one scenario end to end: expand the matrix, obtain timing
+// outcomes through the sweep engine (warm cache entries satisfy points
+// without re-simulating), evaluate the analytic backend, and compare.
+// cli carries explicit tolerance overrides (zero = scenario/harness
+// defaults).
+func Run(sc *scenario.Scenario, opt scenario.Options, cli Tolerances) (*Report, error) {
+	runs, err := sc.Expand(opt.Full)
+	if err != nil {
+		return nil, err
+	}
+	points := sc.Points(runs)
+	// Probe the analytic backend before paying for simulation, so a
+	// scenario without an analytic mapping errors instantly.
+	an, err := AnalyticObservations(sc, runs, points)
+	if err != nil {
+		return nil, err
+	}
+	outs := opt.Sweep("equiv/"+sc.Name, points)
+	timing := TimingObservations(points, outs)
+	tol := Resolve(cli, sc.Analytic)
+	return Summarize(sc.Name, tol, Compare(timing, an, tol)), nil
+}

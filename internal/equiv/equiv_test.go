@@ -1,0 +1,255 @@
+package equiv
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"accesys/internal/scenario"
+	"accesys/internal/sweep"
+)
+
+func TestResolvePrecedence(t *testing.T) {
+	cases := []struct {
+		name string
+		cli  Tolerances
+		spec *scenario.AnalyticSpec
+		want Tolerances
+	}{
+		{"defaults", Tolerances{}, nil, Tolerances{Tol: DefaultTol, Warn: DefaultWarn}},
+		{"scenario", Tolerances{}, &scenario.AnalyticSpec{Tol: 0.3, Warn: 0.1}, Tolerances{Tol: 0.3, Warn: 0.1}},
+		{"scenario tol only", Tolerances{}, &scenario.AnalyticSpec{Tol: 0.3}, Tolerances{Tol: 0.3, Warn: 0.15}},
+		{"cli wins", Tolerances{Tol: 0.5, Warn: 0.2}, &scenario.AnalyticSpec{Tol: 0.3, Warn: 0.1}, Tolerances{Tol: 0.5, Warn: 0.2}},
+		{"cli tol, scenario warn", Tolerances{Tol: 0.5}, &scenario.AnalyticSpec{Warn: 0.1}, Tolerances{Tol: 0.5, Warn: 0.1}},
+		// Bands from different sources can invert; the warn band
+		// collapses onto the fail band instead of reclassifying.
+		{"cli warn above default tol", Tolerances{Warn: 0.3}, nil, Tolerances{Tol: 0.15, Warn: 0.15}},
+		{"cli tol under scenario warn", Tolerances{Tol: 0.05}, &scenario.AnalyticSpec{Warn: 0.1}, Tolerances{Tol: 0.05, Warn: 0.05}},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.cli, c.spec); got != c.want {
+			t.Errorf("%s: Resolve = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyBands(t *testing.T) {
+	tol := Tolerances{Tol: 0.15, Warn: 0.075}
+	for _, c := range []struct {
+		rel  float64
+		want Status
+	}{
+		{0, Pass}, {0.074, Pass}, {0.076, Warn}, {0.15, Warn}, {0.151, Fail}, {math.Inf(1), Fail},
+	} {
+		if got := tol.Classify(c.rel); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.rel, got, c.want)
+		}
+	}
+}
+
+func obs(backend, fp, metric string, v float64) Observation {
+	return Observation{Fingerprint: fp, Point: fp, Backend: backend, Metric: metric, Value: v}
+}
+
+func TestCompareJoinsOnFingerprintAndMetric(t *testing.T) {
+	tol := Tolerances{Tol: 0.15, Warn: 0.075}
+	timing := []Observation{
+		obs(BackendTiming, "a", "exec", 100),
+		obs(BackendTiming, "b", "exec", 100),
+	}
+	an := []Observation{
+		obs(BackendAnalytic, "a", "exec", 105),
+		obs(BackendAnalytic, "b", "exec", 90),
+	}
+	comps := Compare(timing, an, tol)
+	if len(comps) != 2 {
+		t.Fatalf("comparisons = %d, want 2", len(comps))
+	}
+	if comps[0].Status != Pass || comps[0].Rel != 0.05 {
+		t.Fatalf("point a: %+v", comps[0])
+	}
+	if comps[1].Status != Warn {
+		t.Fatalf("point b: %+v", comps[1])
+	}
+}
+
+func TestCompareFlagsMissingCounterparts(t *testing.T) {
+	tol := Tolerances{Tol: 0.5, Warn: 0.25}
+	timing := []Observation{obs(BackendTiming, "only-timing", "exec", 100)}
+	an := []Observation{obs(BackendAnalytic, "only-analytic", "exec", 100)}
+	comps := Compare(timing, an, tol)
+	if len(comps) != 2 {
+		t.Fatalf("comparisons = %d, want 2", len(comps))
+	}
+	for _, c := range comps {
+		if c.Status != Fail {
+			t.Fatalf("missing counterpart not failed: %+v", c)
+		}
+		if !math.IsNaN(c.Rel) {
+			t.Fatalf("missing counterpart should have NaN divergence: %+v", c)
+		}
+	}
+}
+
+func TestCompareZeroTiming(t *testing.T) {
+	tol := Tolerances{Tol: 0.15, Warn: 0.075}
+	comps := Compare(
+		[]Observation{obs(BackendTiming, "z", "exec", 0)},
+		[]Observation{obs(BackendAnalytic, "z", "exec", 5)}, tol)
+	if comps[0].Status != Fail {
+		t.Fatalf("nonzero analytic vs zero timing must fail: %+v", comps[0])
+	}
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	tol := Tolerances{Tol: 0.15, Warn: 0.075}
+	comps := []Comparison{
+		{Rel: 0.01, Status: Pass},
+		{Rel: 0.10, Status: Warn},
+		{Rel: 0.30, Status: Fail},
+	}
+	comps = append(comps, Comparison{Rel: math.NaN(), Status: Fail})
+	r := Summarize("demo", tol, comps)
+	if r.Passed != 1 || r.Warned != 1 || r.Failed != 2 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.OK() {
+		t.Fatal("report with failures must not be OK")
+	}
+	if r.MaxRel != 0.30 {
+		t.Fatalf("MaxRel = %v", r.MaxRel)
+	}
+	if want := (0.01 + 0.10 + 0.30) / 3; math.Abs(r.MeanRel-want) > 1e-12 {
+		t.Fatalf("MeanRel = %v, want %v", r.MeanRel, want)
+	}
+}
+
+func TestReportJSONEncodesNonFiniteDivergence(t *testing.T) {
+	// Missing-counterpart failures carry NaN (and zero-baseline ones
+	// +Inf); the JSON report must still encode — the machine-readable
+	// path matters most exactly when the audit found a conformance
+	// break.
+	r := Summarize("broken", Tolerances{Tol: 0.15, Warn: 0.075}, []Comparison{
+		{Point: "gone", Metric: "exec", Timing: 100, Rel: math.NaN(), Status: Fail},
+		{Point: "zero", Metric: "exec", Analytic: 5, Rel: math.Inf(1), Status: Fail},
+	})
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatalf("report with non-finite divergence failed to encode: %v", err)
+	}
+	if !strings.Contains(string(data), `"rel": null`) {
+		t.Fatalf("non-finite divergence not encoded as null:\n%s", data)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.Comparisons[0].Rel) {
+		t.Fatalf("null rel did not read back as NaN: %+v", back.Comparisons[0])
+	}
+}
+
+func TestReportJSONRoundTrips(t *testing.T) {
+	r := Summarize("demo", Tolerances{Tol: 0.15, Warn: 0.075}, []Comparison{
+		{Point: "p", Metric: "exec", Timing: 100, Analytic: 99, Rel: 0.01, Status: Pass},
+	})
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != "demo" || len(back.Comparisons) != 1 || back.Comparisons[0].Status != Pass {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// miniScenario is a two-point GEMM matrix small enough to simulate in
+// milliseconds.
+func miniScenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:     "equiv-mini",
+		Base:     "pcie8gb",
+		Workload: scenario.Workload{Kind: "gemm", N: scenario.Size{Quick: 64, Full: 64}},
+		Axes: []scenario.Axis{
+			{Name: "lanes", Values: []scenario.Value{4.0, 8.0}},
+		},
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	rep, err := Run(miniScenario(), scenario.Options{Jobs: 2}, Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Comparisons) != 2 {
+		t.Fatalf("comparisons = %d, want 2", len(rep.Comparisons))
+	}
+	if !rep.OK() {
+		t.Fatalf("mini matrix diverges beyond default tolerance: %+v", rep.Comparisons)
+	}
+	res := rep.Result()
+	if len(res.Rows) != 2 {
+		t.Fatalf("rendered rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestRunInjectedDivergenceFails(t *testing.T) {
+	rep, err := Run(miniScenario(), scenario.Options{Jobs: 2}, Tolerances{Tol: 1e-9, Warn: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("vanishing tolerance must fail: model and simulation can never agree to 1e-9")
+	}
+}
+
+func TestRunServedFromWarmCache(t *testing.T) {
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := scenario.Options{Jobs: 2, Cache: cache}
+	if _, err := Run(miniScenario(), opt, Tolerances{}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := cache.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("cold audit: %d hits, %d misses", hits, misses)
+	}
+	if _, err := Run(miniScenario(), opt, Tolerances{}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _ := cache.Stats(); hits != 2 {
+		t.Fatalf("warm audit hit %d of 2 points", hits)
+	}
+}
+
+func TestRunVitScenarioComparesSplit(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name:     "equiv-vit-mini",
+		Workload: scenario.Workload{Kind: "vit"},
+		Axes: []scenario.Axis{
+			{Name: "preset", Values: []scenario.Value{"pcie8gb"}},
+			{Name: "model", Values: []scenario.Value{"ViT-Base"}},
+		},
+	}
+	rep, err := Run(sc, scenario.Options{Jobs: 1}, Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]bool{}
+	for _, c := range rep.Comparisons {
+		metrics[c.Metric] = true
+	}
+	for _, want := range []string{"exec", "gemm", "nongemm"} {
+		if !metrics[want] {
+			t.Fatalf("vit audit missing metric %q: %+v", want, rep.Comparisons)
+		}
+	}
+	if !rep.OK() {
+		t.Fatalf("ViT-Base under pcie8gb diverges beyond default tolerance: %+v", rep.Comparisons)
+	}
+}

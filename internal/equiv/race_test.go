@@ -1,0 +1,74 @@
+package equiv
+
+// Concurrency contract: an equivalence audit and a plain sweep may
+// share one result cache (and even one Progress reporter) from two
+// goroutines — the pattern of a CI job auditing figures while another
+// worker warms the cache. Run under -race (make race does) this
+// exercises the Cache counter flush and Progress serialization fixes.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"accesys/internal/scenario"
+	"accesys/internal/sweep"
+)
+
+func TestParallelEquivAndSweepShareCache(t *testing.T) {
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := miniScenario()
+	runs, err := sc.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := sc.Points(runs)
+	progress := sweep.NewProgress(io.Discard, "shared", 2*len(points), 2)
+
+	var wg sync.WaitGroup
+	fail := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rep, err := Run(sc, scenario.Options{Jobs: 2, Cache: cache}, Tolerances{})
+		if err != nil {
+			fail <- err
+			return
+		}
+		if len(rep.Comparisons) != len(points) {
+			fail <- err
+		}
+		if err := cache.FlushCounters(); err != nil {
+			fail <- err
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		eng := &sweep.Engine{Jobs: 2, Cache: cache, OnResult: progress.Observe}
+		outs := eng.Run(points)
+		if len(outs) != len(points) {
+			fail <- nil
+		}
+		if err := cache.FlushCounters(); err != nil {
+			fail <- err
+		}
+	}()
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatalf("concurrent run failed: %v", err)
+	}
+
+	// Both flushes landed: persisted totals must cover every lookup
+	// both goroutines made (2*len(points)), with no lost update.
+	counters, err := cache.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counters.Hits + counters.Misses; got != 2*len(points) {
+		t.Fatalf("persisted lookups = %d, want %d (lost counter update)", got, 2*len(points))
+	}
+}

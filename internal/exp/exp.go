@@ -75,3 +75,14 @@ func ByID(id string) (func(Options) *Result, bool) {
 func IDs() []string {
 	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "tab4", "fig7", "fig8", "fig9"}
 }
+
+// Matrix exposes the built-in run matrix behind an experiment id to
+// external harnesses (the cross-backend equivalence audit runs every
+// reproduced figure through it). The returned scenario is a fresh
+// copy; mutating it cannot disturb the experiment.
+func Matrix(id string) (*scenario.Scenario, bool) {
+	if _, ok := ByID(id); !ok {
+		return nil, false
+	}
+	return scenario.Builtin(id)
+}

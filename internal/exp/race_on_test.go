@@ -1,0 +1,9 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether this test binary runs under the race
+// detector (the golden conformance suite skips there: it re-runs every
+// experiment for minutes while adding no concurrency coverage beyond
+// the determinism tests).
+const raceEnabled = true

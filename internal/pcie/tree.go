@@ -82,6 +82,15 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Resolved returns the configuration with every zero field replaced
+// by its default — the values an assembled Tree actually runs with.
+// Analytic models derive their constants from this so they can never
+// drift from the timing simulation's defaults.
+func (c Config) Resolved() Config {
+	c.setDefaults()
+	return c
+}
+
 // Tree is an assembled PCIe fabric: RC <-> Switch <-> EP[i].
 type Tree struct {
 	RC     *RootComplex

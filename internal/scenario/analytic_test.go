@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"accesys/internal/core"
+	"accesys/internal/workload"
+)
+
+func TestAnalyticMetricsGEMM(t *testing.T) {
+	sc := MustBuiltin("fig4")
+	runs, err := sc.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		m, err := sc.AnalyticMetrics(r)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Key, err)
+		}
+		if m["exec"] <= 0 {
+			t.Fatalf("%s: non-positive exec prediction %v", r.Key, m["exec"])
+		}
+	}
+}
+
+func TestAnalyticMetricsViTSplit(t *testing.T) {
+	sc := MustBuiltin("fig7")
+	runs, err := sc.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		m, err := sc.AnalyticMetrics(r)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Key, err)
+		}
+		for _, k := range []string{"exec", "gemm", "nongemm"} {
+			if m[k] <= 0 {
+				t.Fatalf("%s: non-positive %s prediction", r.Key, k)
+			}
+		}
+		if got, want := m["exec"], m["gemm"]+m["nongemm"]; got != want {
+			t.Fatalf("%s: exec %v != gemm+nongemm %v", r.Key, got, want)
+		}
+	}
+}
+
+func TestAnalyticOrderingMatchesPaperClaims(t *testing.T) {
+	// The analytic backend must reproduce the paper's qualitative
+	// shapes on its own: more PCIe bandwidth -> faster GEMM, and the
+	// DevMem Non-GEMM NUMA penalty of Fig. 8.
+	sc := &Scenario{Name: "ord", Workload: Workload{Kind: "gemm", N: Size{Quick: 512, Full: 512}}}
+	exec := func(cfg core.Config) float64 {
+		m, err := sc.AnalyticMetrics(Run{Cfg: cfg, N: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m["exec"]
+	}
+	if !(exec(core.PCIe2GB()) > exec(core.PCIe8GB()) && exec(core.PCIe8GB()) > exec(core.PCIe64GB())) {
+		t.Fatal("analytic GEMM times do not improve with PCIe bandwidth")
+	}
+
+	vit := MustBuiltin("fig8")
+	split := func(cfg core.Config) (gemm, nongemm float64) {
+		m, err := vit.AnalyticMetrics(Run{Cfg: cfg, Model: vitModel(t, "ViT-Large")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m["gemm"], m["nongemm"]
+	}
+	_, hostNG := split(core.PCIe8GB())
+	_, devNG := split(core.DevMemCfg())
+	if !(devNG > 1.5*hostNG) {
+		t.Fatalf("analytic DevMem Non-GEMM penalty missing: dev %v vs host %v", devNG, hostNG)
+	}
+}
+
+func vitModel(t *testing.T, name string) workload.ViTVariant {
+	t.Helper()
+	m, err := modelByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAnalyticPacketSizeConvexity(t *testing.T) {
+	// Fig. 4's claim, reproduced by the closed-form backend alone: 256 B
+	// beats both 64 B (header/II overhead) and 4096 B (credit stalls).
+	sc := &Scenario{Name: "pkt", Workload: Workload{Kind: "gemm", N: Size{Quick: 512, Full: 512}}}
+	exec := func(burst int) float64 {
+		cfg := core.PCIe8GB()
+		cfg.Accel.HostDMA.BurstBytes = burst
+		m, err := sc.AnalyticMetrics(Run{Cfg: cfg, N: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m["exec"]
+	}
+	if !(exec(256) < exec(64) && exec(256) < exec(4096)) {
+		t.Fatalf("convexity missing: 64B=%v 256B=%v 4096B=%v", exec(64), exec(256), exec(4096))
+	}
+}
+
+func TestAnalyticMetricsRejectsBadSize(t *testing.T) {
+	sc := &Scenario{Name: "bad", Workload: Workload{Kind: "gemm"}}
+	if _, err := sc.AnalyticMetrics(Run{Cfg: core.PCIe8GB(), N: 100}); err == nil {
+		t.Fatal("non-tile-multiple GEMM size must be rejected")
+	}
+}
+
+func TestAnalyticSpecValidation(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{
+			Name:     "spec",
+			Workload: Workload{Kind: "gemm", N: Size{Quick: 64, Full: 64}},
+			Axes:     []Axis{{Name: "lanes", Values: vals(4)}},
+		}
+	}
+	ok := base()
+	ok.Analytic = &AnalyticSpec{Tol: 0.2, Warn: 0.1}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid analytic spec rejected: %v", err)
+	}
+	neg := base()
+	neg.Analytic = &AnalyticSpec{Tol: -0.1}
+	if err := neg.Validate(); err == nil || !strings.Contains(err.Error(), "non-negative") {
+		t.Fatalf("negative tolerance accepted: %v", err)
+	}
+	inverted := base()
+	inverted.Analytic = &AnalyticSpec{Tol: 0.1, Warn: 0.2}
+	if err := inverted.Validate(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("warn > tol accepted: %v", err)
+	}
+}
+
+func TestAnalyticSpecRoundTripsThroughManifest(t *testing.T) {
+	sc := MustBuiltin("fig6")
+	if sc.Analytic == nil {
+		t.Fatal("fig6 should declare a fidelity band")
+	}
+	data, err := Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Analytic == nil || *back.Analytic != *sc.Analytic {
+		t.Fatalf("analytic spec lost in round trip: %+v vs %+v", back.Analytic, sc.Analytic)
+	}
+}

@@ -128,6 +128,9 @@ type Scenario struct {
 	Metrics []string `json:"metrics,omitempty"`
 	// Table shapes Render output.
 	Table Table `json:"table,omitempty"`
+	// Analytic tunes the cross-backend equivalence comparison (see
+	// analytic.go); nil uses the harness defaults.
+	Analytic *AnalyticSpec `json:"analytic,omitempty"`
 }
 
 // Run is one resolved point of the matrix: the full system config plus
@@ -346,6 +349,14 @@ func (s *Scenario) Validate() error {
 	}
 	if _, ok := cellFormats[s.cell()]; !ok {
 		return fail("unknown cell format %q", s.Table.Cell)
+	}
+	if a := s.Analytic; a != nil {
+		if a.Tol < 0 || a.Warn < 0 {
+			return fail("analytic tolerances must be non-negative")
+		}
+		if a.Tol > 0 && a.Warn > a.Tol {
+			return fail("analytic warn threshold %g exceeds fail threshold %g", a.Warn, a.Tol)
+		}
 	}
 	return nil
 }

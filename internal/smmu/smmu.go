@@ -90,6 +90,14 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Resolved returns the configuration with every zero field replaced
+// by its default — what an assembled SMMU actually runs with. The
+// analytic backend derives its translation-stall term from this.
+func (c Config) Resolved() Config {
+	c.setDefaults()
+	return c
+}
+
 type utlbEntry struct {
 	vpn, ppn uint64
 	lastUse  uint64

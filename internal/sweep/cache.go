@@ -28,6 +28,11 @@ type Cache struct {
 	hits   int
 	misses int
 	errors int
+
+	// flushMu serialises whole FlushCounters read-modify-write cycles,
+	// so two engines sharing one Cache from different goroutines can
+	// both flush without losing each other's counts.
+	flushMu sync.Mutex
 }
 
 // entry is the on-disk record format.

@@ -156,10 +156,13 @@ func (c *Cache) Counters() (Counters, error) {
 // FlushCounters folds this process's hit/miss/error counts into the
 // persisted totals and resets the in-memory counts, so repeated
 // flushes never double-count. The read-modify-write is atomic against
-// readers (temp file + rename) but not against a concurrent flusher;
-// counters are advisory, and a lost update costs only accuracy of the
-// cachestats report.
+// readers (temp file + rename) and against concurrent flushers on the
+// same Cache (flushMu serialises the whole cycle); only a flusher in a
+// different process can still race it, and a lost update there costs
+// only accuracy of the advisory cachestats report.
 func (c *Cache) FlushCounters() error {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
 	t, err := c.Counters()
 	if err != nil {
 		return err

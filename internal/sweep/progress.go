@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -12,14 +13,17 @@ import (
 // count. Cache hits complete in ~zero time, so they advance the count
 // without skewing the estimate.
 //
-// Observe is handed to Engine.OnResult, which already serialises
-// callback invocations; Progress itself holds no lock.
+// A single Engine already serialises its OnResult callbacks, but
+// nothing stops two engines (a sweep and an equivalence audit sharing
+// one cache, say) from observing into the same Progress from two
+// goroutines, so Observe takes its own lock.
 type Progress struct {
 	w       io.Writer
 	label   string
 	total   int
 	workers int
 
+	mu       sync.Mutex
 	done     int
 	measured int
 	wall     time.Duration
@@ -36,6 +40,8 @@ func NewProgress(w io.Writer, label string, total, workers int) *Progress {
 
 // Observe records one completed point and prints its progress line.
 func (p *Progress) Observe(r Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.done++
 	detail := " (cached)"
 	if !r.Cached {
