@@ -8,6 +8,8 @@
 #                   the sweep worker pool with concurrent simulations)
 #   make examples - compile every example and command
 #   make smoke    - run a tiny manifest through `accesys sweep`
+#   make shardsmoke - 3-shard fig4 plan -> run -> merge -> verify the
+#                   merged cache warm-hits every row
 #   make golden   - golden-row conformance suite (all nine experiments)
 #   make bench    - one pass over the benchmark harness (short mode)
 #   make cover    - coverage profile with a minimum total-coverage gate
@@ -16,10 +18,10 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race examples smoke golden cover equiv ci bench figures clean
+.PHONY: all build vet lint test race examples smoke shardsmoke golden cover equiv ci bench figures clean
 
 # Minimum total statement coverage (percent) make cover enforces.
-COVER_FLOOR ?= 65
+COVER_FLOOR ?= 70
 
 all: build
 
@@ -51,6 +53,25 @@ examples:
 smoke:
 	$(GO) run ./cmd/accesys sweep -nocache -jobs 2 testdata/smoke.json
 
+# Distributed-sweep smoke: partition fig4 into 3 shards, run each into
+# its own cache directory, merge, and verify a sweep over the merged
+# cache serves all 35 rows warm (zero cold simulations).
+SHARDSMOKE_DIR := .shardsmoke
+shardsmoke:
+	@rm -rf $(SHARDSMOKE_DIR) && mkdir -p $(SHARDSMOKE_DIR)
+	$(GO) run ./cmd/accesys shard plan -shards 3 testdata/fig4.json > $(SHARDSMOKE_DIR)/plan.json
+	$(GO) run ./cmd/accesys shard run -shard 0/3 -dir $(SHARDSMOKE_DIR)/s0 testdata/fig4.json
+	$(GO) run ./cmd/accesys shard run -shard 1/3 -dir $(SHARDSMOKE_DIR)/s1 testdata/fig4.json
+	$(GO) run ./cmd/accesys shard run -shard 2/3 -dir $(SHARDSMOKE_DIR)/s2 testdata/fig4.json
+	$(GO) run ./cmd/accesys shard merge -out $(SHARDSMOKE_DIR)/merged \
+		$(SHARDSMOKE_DIR)/s0 $(SHARDSMOKE_DIR)/s1 $(SHARDSMOKE_DIR)/s2
+	$(GO) run ./cmd/accesys sweep -cache $(SHARDSMOKE_DIR)/merged -v testdata/fig4.json \
+		> $(SHARDSMOKE_DIR)/rows.txt 2> $(SHARDSMOKE_DIR)/verify.log
+	@grep -q "35 hits, 0 misses" $(SHARDSMOKE_DIR)/verify.log || \
+		{ echo "shardsmoke: merged cache not fully warm:"; cat $(SHARDSMOKE_DIR)/verify.log; exit 1; }
+	@echo "shardsmoke: merged cache served all 35 rows warm"
+	@rm -rf $(SHARDSMOKE_DIR)
+
 # The golden suite re-runs all nine experiments and diffs their rows
 # against testdata/golden/ (it skips itself under -short and -race, so
 # this is its only CI entry point).
@@ -69,7 +90,7 @@ cover:
 equiv:
 	$(GO) run ./cmd/accesys equiv fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9
 
-ci: lint vet race examples smoke golden bench cover
+ci: lint vet race examples smoke shardsmoke golden bench cover
 
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' .

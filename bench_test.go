@@ -6,9 +6,13 @@
 package accesys_bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"accesys/internal/analytic"
 	"accesys/internal/core"
@@ -17,6 +21,7 @@ import (
 	"accesys/internal/exp"
 	"accesys/internal/pcie"
 	"accesys/internal/scenario"
+	"accesys/internal/shard"
 	"accesys/internal/sim"
 	"accesys/internal/sweep"
 	"accesys/internal/workload"
@@ -238,6 +243,79 @@ func BenchmarkAnalyticBackend(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(runs)), "points")
+}
+
+// BenchmarkShardMerge measures the distributed-sweep merge step:
+// folding pre-seeded shard cache directories into one canonical cache
+// (entry import + counter fold), reported as merged points per
+// second. It also records the measurement into BENCH_shard.json at
+// the repository root — the bench trajectory file tracking merge
+// throughput across commits.
+func BenchmarkShardMerge(b *testing.B) {
+	const shards, perShard = 4, 250
+	root := b.TempDir()
+	srcs := make([]string, shards)
+	salt := "bench-salt"
+	for k := range srcs {
+		srcs[k] = filepath.Join(root, fmt.Sprintf("src-%d", k))
+		cache, err := sweep.Open(srcs[k])
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Salt = salt
+		var sum shard.Summary
+		sum.Scenario = "bench"
+		sum.Shard, sum.Of, sum.Salt, sum.Points = k, shards, salt, perShard
+		for i := 0; i < perShard; i++ {
+			cache.Put(fmt.Sprintf("bench-shard-%d-point-%d", k, i), sweep.Outcome{Dur: sim.Tick(i + 1)})
+		}
+		data, err := json.Marshal(sum)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(srcs[k], shard.SummaryName), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	start := time.Now()
+	merged := 0
+	for i := 0; i < b.N; i++ {
+		dst := filepath.Join(root, fmt.Sprintf("dst-%d", i))
+		st, err := shard.Merge(dst, srcs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Imported != shards*perShard {
+			b.Fatalf("imported %d of %d entries", st.Imported, shards*perShard)
+		}
+		merged += st.Imported
+	}
+	elapsed := time.Since(start)
+	pps := float64(merged) / elapsed.Seconds()
+	b.ReportMetric(pps, "points/s")
+	b.StopTimer()
+	writeShardTrajectory(b, pps, shards, shards*perShard)
+}
+
+// writeShardTrajectory records the latest merge throughput sample.
+// The file lives at the repository root (the benchmark package's
+// working directory) so `make bench` refreshes it in place.
+func writeShardTrajectory(b *testing.B, pointsPerSec float64, shards, points int) {
+	b.Helper()
+	sample := map[string]any{
+		"benchmark":      "ShardMerge",
+		"shards":         shards,
+		"points":         points,
+		"points_per_sec": pointsPerSec,
+	}
+	data, err := json.MarshalIndent(sample, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_shard.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("bench trajectory not recorded: %v", err)
+	}
 }
 
 // Guard: the paper's link presets must keep their raw bandwidth.

@@ -6,6 +6,9 @@
 //	accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]
 //	accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...
 //	accesys equiv [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-tol f] [-warn f] [-json] manifest.json|experiment ...
+//	accesys shard plan [-full] -shards N manifest.json
+//	accesys shard run [-full] [-v] [-jobs N] -shard k/N -dir DIR manifest.json
+//	accesys shard merge -out DIR sharddir ...
 //	accesys cachestats [-cache dir] [-gc] [-maxage d] [-maxentries n]
 //	accesys list
 //
@@ -38,6 +41,17 @@
 // sequential execution produce identical rows. With -v each completed
 // point prints a k/n progress line with an ETA derived from measured
 // per-point wall times.
+//
+// shard distributes a manifest's matrix across worker processes or
+// machines: plan prints the deterministic partition (stable rendezvous
+// hashing over configuration fingerprints) as JSON for external
+// schedulers, run executes one shard's slice into a self-contained
+// cache directory plus a shard.json summary, and merge folds shard
+// directories into one canonical cache — verifying that all shards
+// were produced by one simulator build (binary salt), detecting
+// fingerprint collisions with differing payloads, and summing
+// persisted counters. A merged cache warm-hits a subsequent
+// `accesys sweep`/`equiv` byte-identically to a single-process run.
 //
 // cachestats reports the result cache's on-disk footprint (entries,
 // bytes) and cumulative hit/miss/error counters, and with -gc evicts
@@ -404,12 +418,14 @@ func (a *app) main(args []string) int {
 			return a.cmdSweep(args[1:])
 		case "equiv":
 			return a.cmdEquiv(args[1:])
+		case "shard":
+			return a.cmdShard(args[1:])
 		case "cachestats":
 			return a.cmdCachestats(args[1:])
 		case "list":
 			return a.cmdList(args[1:])
 		case "help", "-h", "-help", "--help":
-			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|cachestats|list] ...\n")
+			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|shard|cachestats|list] ...\n")
 			fmt.Fprintf(a.stderr, "run 'accesys <command> -h' for command flags; a bare flag list runs `run`\n")
 			return usageErr
 		}

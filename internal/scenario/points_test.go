@@ -1,0 +1,63 @@
+package scenario
+
+// Point-enumeration contract tests: distributed shard plans reference
+// points by expansion index and fingerprint, so the enumeration must
+// be order-stable (repeated expansions agree position by position) and
+// independent of anything but (scenario, full). These pin that for
+// every built-in matrix in both modes.
+
+import "testing"
+
+func TestPointEnumerationOrderStable(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		for _, full := range []bool{false, true} {
+			sc := MustBuiltin(name)
+			a, err := sc.PointsFor(full)
+			if err != nil {
+				t.Fatalf("%s full=%v: %v", name, full, err)
+			}
+			// A fresh scenario value, expanded again: same points, same
+			// order, same fingerprints.
+			b, err := MustBuiltin(name).PointsFor(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%s full=%v: %d vs %d points across expansions", name, full, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Key != b[i].Key || a[i].Fingerprint != b[i].Fingerprint {
+					t.Fatalf("%s full=%v: point %d differs across expansions: %q vs %q",
+						name, full, i, a[i].Key, b[i].Key)
+				}
+				if a[i].Fingerprint == "" {
+					t.Fatalf("%s full=%v: point %d (%s) has no fingerprint", name, full, i, a[i].Key)
+				}
+			}
+		}
+	}
+}
+
+func TestPointsForMatchesExpandPlusPoints(t *testing.T) {
+	// PointsFor is the one-step form of Expand + Points; the two paths
+	// must enumerate identically or a plan built through one would
+	// misindex a worker running the other.
+	sc := MustBuiltin("fig4")
+	runs, err := sc.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sc.Points(runs)
+	got, err := sc.PointsFor(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d points", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || got[i].Fingerprint != want[i].Fingerprint {
+			t.Fatalf("point %d differs: %q vs %q", i, got[i].Key, want[i].Key)
+		}
+	}
+}

@@ -530,6 +530,20 @@ func (o Options) Sweep(label string, points []sweep.Point) []sweep.Outcome {
 	return eng.Run(points)
 }
 
+// PointsFor expands the scenario and converts the runs into
+// engine-ready sweep points in one step. The enumeration is
+// order-stable and indexable: repeated expansions of one scenario
+// yield the same points in the same positions, independent of
+// execution options — the contract distributed shard plans are built
+// on (a plan references points by expansion index and fingerprint).
+func (s *Scenario) PointsFor(full bool) ([]sweep.Point, error) {
+	runs, err := s.Expand(full)
+	if err != nil {
+		return nil, err
+	}
+	return s.Points(runs), nil
+}
+
 // Run is the manifest front door: expand the matrix, sweep it, and
 // render the table.
 func (s *Scenario) Run(o Options) (*Result, error) {

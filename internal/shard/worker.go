@@ -1,0 +1,162 @@
+package shard
+
+// The shard worker: runs one shard's slice of a partitioned sweep
+// through the ordinary engine into a self-contained cache directory,
+// then records what it ran in a shard.json summary the merge step
+// verifies against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"accesys/internal/sweep"
+)
+
+// SummaryName is the per-shard manifest written next to the cache
+// entries. Its name deliberately fails the cache's entry-name check,
+// so GC, Usage, and import all ignore it.
+const SummaryName = "shard.json"
+
+// Summary records what one shard worker ran — the merge step's unit
+// of verification (binary salt compatibility) and accounting (points,
+// walls, counters).
+type Summary struct {
+	// Scenario and Full echo the plan the worker executed.
+	Scenario string `json:"scenario"`
+	Full     bool   `json:"full"`
+	// Shard and Of locate this slice in the partition (Shard in
+	// [0, Of)).
+	Shard int `json:"shard"`
+	Of    int `json:"of"`
+	// Salt is the worker binary's fingerprint — the cache salt every
+	// entry in this directory is keyed under. Shards merged together
+	// must agree on it.
+	Salt string `json:"salt"`
+	// Points is the slice size; Cold ran, Warm came from this shard's
+	// own cache (a re-run worker).
+	Points int `json:"points"`
+	Cold   int `json:"cold"`
+	Warm   int `json:"warm"`
+	// WallNs is the host-side wall time of the slice.
+	WallNs int64 `json:"wall_ns"`
+	// Counters are the shard cache's persisted totals after the run.
+	Counters sweep.Counters `json:"counters"`
+}
+
+// Worker executes one shard of a partitioned sweep.
+type Worker struct {
+	// Dir is the shard's self-contained cache directory (created if
+	// needed). Every outcome and the shard.json summary land here.
+	Dir string
+	// Jobs bounds the slice's worker pool; <= 0 means one per CPU.
+	Jobs int
+	// OnResult, when non-nil, observes each completed point (progress
+	// reporting). Calls are serialised by the engine.
+	OnResult func(sweep.Result)
+}
+
+// Run executes shard k of the plan. points must be the same expansion
+// the plan was built from — Run revalidates every fingerprint digest
+// against the plan before simulating, so a stale plan fails loudly
+// instead of filling the cache with mislabeled slices. The returned
+// summary has also been written to Dir/shard.json.
+func (w *Worker) Run(plan *Plan, k int, points []sweep.Point) (*Summary, error) {
+	if k < 0 || k >= plan.Shards {
+		return nil, fmt.Errorf("shard: shard %d out of range [0, %d)", k, plan.Shards)
+	}
+	if len(points) != len(plan.Points) {
+		return nil, fmt.Errorf("shard: plan covers %d points, expansion has %d", len(plan.Points), len(points))
+	}
+	for i, pt := range points {
+		if Digest(pt.Fingerprint) != plan.Points[i].Fingerprint {
+			return nil, fmt.Errorf("shard: point %d (%s) does not match the plan; regenerate the plan from this manifest", i, pt.Key)
+		}
+	}
+	cache, err := sweep.OpenSalted(w.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	sel := plan.Select(k)
+	slice := make([]sweep.Point, len(sel))
+	for i, idx := range sel {
+		slice[i] = points[idx]
+	}
+
+	sum := &Summary{
+		Scenario: plan.Scenario,
+		Full:     plan.Full,
+		Shard:    k,
+		Of:       plan.Shards,
+		Salt:     cache.Salt,
+		Points:   len(slice),
+	}
+	eng := &sweep.Engine{Jobs: w.Jobs, Cache: cache, OnResult: func(r sweep.Result) {
+		if r.Cached {
+			sum.Warm++
+		} else {
+			sum.Cold++
+		}
+		if w.OnResult != nil {
+			w.OnResult(r)
+		}
+	}}
+	start := time.Now()
+	eng.Run(slice)
+	sum.WallNs = time.Since(start).Nanoseconds()
+
+	if err := cache.FlushCounters(); err != nil {
+		return nil, fmt.Errorf("shard: persisting counters: %v", err)
+	}
+	if sum.Counters, err = cache.Counters(); err != nil {
+		return nil, fmt.Errorf("shard: reading counters: %v", err)
+	}
+	if err := writeSummary(w.Dir, sum); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// writeSummary stages the summary and renames it into place, so a
+// merge never reads a half-written shard.json.
+func writeSummary(dir string, sum *Summary) error {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "shard-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, SummaryName)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadSummary loads dir's shard.json — how the merge step learns a
+// directory's salt and accounting.
+func ReadSummary(dir string) (*Summary, error) {
+	data, err := os.ReadFile(filepath.Join(dir, SummaryName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s is not a shard directory: %v", dir, err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("shard: %s: malformed %s: %v", dir, SummaryName, err)
+	}
+	return &sum, nil
+}

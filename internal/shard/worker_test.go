@@ -1,0 +1,277 @@
+package shard
+
+// Worker and merge tests over fake points: Run closures return
+// synthetic outcomes, so these exercise the partition/worker/merge
+// machinery — slice selection, shard.json accounting, salt
+// verification, collision detection, counter folding — without
+// touching the simulator.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"accesys/internal/sim"
+	"accesys/internal/sweep"
+)
+
+// fakePoints builds n points whose Run records which indexes executed.
+func fakePoints(n int, ran *sync.Map) []sweep.Point {
+	pts := make([]sweep.Point, n)
+	for i := range pts {
+		i := i
+		pts[i] = sweep.Point{
+			Key:         "pt-" + string(rune('a'+i)),
+			Fingerprint: sweep.Fingerprint("fake", i),
+			Run: func() sweep.Outcome {
+				if ran != nil {
+					ran.Store(i, true)
+				}
+				return sweep.Outcome{Dur: sim.Tick(i + 1)}
+			},
+		}
+	}
+	return pts
+}
+
+func mustPartition(t *testing.T, pts []sweep.Point, n int) *Plan {
+	t.Helper()
+	plan, err := Partition("fake", false, pts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestWorkerRunsExactlyItsSlice(t *testing.T) {
+	var ran sync.Map
+	pts := fakePoints(12, &ran)
+	plan := mustPartition(t, pts, 3)
+	for k := 0; k < 3; k++ {
+		k := k
+		dir := t.TempDir()
+		w := &Worker{Dir: dir, Jobs: 2}
+		sum, err := w.Run(plan, k, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Points != plan.Counts[k] || sum.Cold != plan.Counts[k] || sum.Warm != 0 {
+			t.Fatalf("shard %d summary = %+v, want %d cold points", k, sum, plan.Counts[k])
+		}
+		if sum.Shard != k || sum.Of != 3 || sum.Scenario != "fake" {
+			t.Fatalf("shard %d summary mislabeled: %+v", k, sum)
+		}
+		if sum.Salt == "" {
+			t.Fatalf("shard %d summary has no binary salt", k)
+		}
+		// The written shard.json round-trips.
+		got, err := ReadSummary(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *sum {
+			t.Fatalf("ReadSummary = %+v, want %+v", got, sum)
+		}
+	}
+	// Every point ran exactly once across the three workers (disjoint
+	// cover, executed): count the recorded indexes.
+	total := 0
+	ran.Range(func(_, _ any) bool { total++; return true })
+	if total != 12 {
+		t.Fatalf("%d of 12 points executed across the fleet", total)
+	}
+}
+
+func TestWorkerRerunIsWarm(t *testing.T) {
+	pts := fakePoints(6, nil)
+	plan := mustPartition(t, pts, 2)
+	dir := t.TempDir()
+	w := &Worker{Dir: dir}
+	if _, err := w.Run(plan, 0, pts); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := w.Run(plan, 0, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cold != 0 || sum.Warm != plan.Counts[0] {
+		t.Fatalf("re-run summary = %+v, want all warm", sum)
+	}
+}
+
+func TestWorkerRejectsStalePlan(t *testing.T) {
+	pts := fakePoints(4, nil)
+	plan := mustPartition(t, pts, 2)
+	w := &Worker{Dir: t.TempDir()}
+	if _, err := w.Run(plan, 2, pts); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := w.Run(plan, 0, pts[:3]); err == nil {
+		t.Fatal("short expansion accepted")
+	}
+	other := fakePoints(4, nil)
+	other[2].Fingerprint = sweep.Fingerprint("drifted", 2)
+	if _, err := w.Run(plan, 0, other); err == nil || !strings.Contains(err.Error(), "does not match the plan") {
+		t.Fatalf("drifted expansion accepted: %v", err)
+	}
+}
+
+// runShards executes every shard of the plan into fresh dirs and
+// returns the dirs.
+func runShards(t *testing.T, plan *Plan, pts []sweep.Point) []string {
+	t.Helper()
+	dirs := make([]string, plan.Shards)
+	for k := range dirs {
+		dirs[k] = filepath.Join(t.TempDir(), "shard")
+		w := &Worker{Dir: dirs[k]}
+		if _, err := w.Run(plan, k, pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dirs
+}
+
+func TestMergeFoldsShardsIntoWarmCache(t *testing.T) {
+	pts := fakePoints(12, nil)
+	plan := mustPartition(t, pts, 3)
+	dirs := runShards(t, plan, pts)
+
+	dst := filepath.Join(t.TempDir(), "merged")
+	st, err := Merge(dst, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 3 || st.Points != 12 || st.Imported != 12 || st.Duplicates != 0 {
+		t.Fatalf("merge stats = %+v", st)
+	}
+	// Every shard ran cold, so the folded counters are 12 misses.
+	if st.Counters.Misses != 12 || st.Counters.Hits != 0 {
+		t.Fatalf("folded counters = %+v, want 12 misses", st.Counters)
+	}
+
+	// The merged cache warm-hits every fingerprint under this binary's
+	// salt — exactly what a subsequent `accesys sweep -cache` sees.
+	cache, err := sweep.OpenSalted(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		out, ok := cache.Get(p.Fingerprint)
+		if !ok || out.Dur != sim.Tick(i+1) {
+			t.Fatalf("merged Get(%s) = %v, %v", p.Key, out, ok)
+		}
+	}
+	// And the persisted counters carried over.
+	c, err := cache.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses != 12 {
+		t.Fatalf("merged persisted counters = %+v", c)
+	}
+}
+
+func TestMergeIsIdempotent(t *testing.T) {
+	// A retried merge of the same shard state must not re-import
+	// entries NOR re-fold accounting: the destination's persisted
+	// counters stay at one fleet's worth of work.
+	pts := fakePoints(6, nil)
+	plan := mustPartition(t, pts, 2)
+	dirs := runShards(t, plan, pts)
+	dst := filepath.Join(t.TempDir(), "merged")
+	if _, err := Merge(dst, dirs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Merge(dst, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Imported != 0 || st.Duplicates != 6 || st.AlreadyMerged != 2 {
+		t.Fatalf("re-merge stats = %+v, want all duplicates + 2 already merged", st)
+	}
+	if st.Points != 0 || st.Counters != (sweep.Counters{}) {
+		t.Fatalf("re-merge re-folded accounting: %+v", st)
+	}
+	cache, err := sweep.Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses != 6 {
+		t.Fatalf("persisted counters after re-merge = %+v, want 6 misses (double-folded?)", c)
+	}
+
+	// A shard genuinely re-run (fresh shard.json) is folded again.
+	w := &Worker{Dir: dirs[0]}
+	if _, err := w.Run(plan, 0, pts); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Merge(dst, dirs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AlreadyMerged != 0 || st.Points != plan.Counts[0] {
+		t.Fatalf("re-run shard not re-folded: %+v", st)
+	}
+}
+
+func TestMergeRejectsSaltMismatch(t *testing.T) {
+	pts := fakePoints(4, nil)
+	plan := mustPartition(t, pts, 2)
+	dirs := runShards(t, plan, pts)
+	// Doctor one summary to claim a different build.
+	sum, err := ReadSummary(dirs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum.Salt = "0000deadbeef"
+	data, _ := json.Marshal(sum)
+	if err := os.WriteFile(filepath.Join(dirs[1], SummaryName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Merge(filepath.Join(t.TempDir(), "merged"), dirs)
+	if err == nil || !strings.Contains(err.Error(), "salt mismatch") {
+		t.Fatalf("mismatched salts merged: %v", err)
+	}
+}
+
+func TestMergeRequiresShardSummaries(t *testing.T) {
+	if _, err := Merge(t.TempDir(), nil); err == nil {
+		t.Fatal("empty source list accepted")
+	}
+	plain := t.TempDir() // a directory with no shard.json
+	_, err := Merge(filepath.Join(t.TempDir(), "merged"), []string{plain})
+	if err == nil || !strings.Contains(err.Error(), "not a shard directory") {
+		t.Fatalf("summary-less directory accepted: %v", err)
+	}
+}
+
+func TestMergeDetectsDivergentOutcomes(t *testing.T) {
+	// Two shard dirs holding the same fingerprint with different
+	// payloads: a broken determinism contract the merge must refuse to
+	// paper over.
+	mk := func(dur sim.Tick) string {
+		dir := filepath.Join(t.TempDir(), "shard")
+		c, err := sweep.OpenSalted(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Put("shared-fp", sweep.Outcome{Dur: dur})
+		if err := writeSummary(dir, &Summary{Scenario: "div", Of: 2, Salt: c.Salt, Points: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	dirs := []string{mk(1), mk(2)}
+	_, err := Merge(filepath.Join(t.TempDir(), "merged"), dirs)
+	if err == nil || !strings.Contains(err.Error(), "collision") {
+		t.Fatalf("divergent payloads merged: %v", err)
+	}
+}

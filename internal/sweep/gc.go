@@ -155,44 +155,28 @@ func (c *Cache) Counters() (Counters, error) {
 
 // FlushCounters folds this process's hit/miss/error counts into the
 // persisted totals and resets the in-memory counts, so repeated
-// flushes never double-count. The read-modify-write is atomic against
-// readers (temp file + rename) and against concurrent flushers on the
-// same Cache (flushMu serialises the whole cycle); only a flusher in a
+// flushes never double-count. The fold is a full read-modify-write
+// (see addCountersLocked): existing persisted totals — this process's
+// earlier flushes, other processes', merged shard counters — are added
+// to, never clobbered. It is atomic against readers (temp file +
+// rename) and against concurrent flushers and mergers on the same
+// Cache (flushMu serialises the whole cycle); only a flusher in a
 // different process can still race it, and a lost update there costs
-// only accuracy of the advisory cachestats report.
+// only accuracy of the advisory cachestats report. On failure the
+// in-memory counts are restored so a retry can still flush them.
 func (c *Cache) FlushCounters() error {
 	c.flushMu.Lock()
 	defer c.flushMu.Unlock()
-	t, err := c.Counters()
-	if err != nil {
-		return err
-	}
 	c.mu.Lock()
-	t.Hits += c.hits
-	t.Misses += c.misses
-	t.Errors += c.errors
+	d := Counters{Hits: c.hits, Misses: c.misses, Errors: c.errors}
 	c.hits, c.misses, c.errors = 0, 0, 0
 	c.mu.Unlock()
-
-	data, err := json.Marshal(t)
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(c.dir, "counters-*.tmp")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, countersName)); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.addCountersLocked(d); err != nil {
+		c.mu.Lock()
+		c.hits += d.Hits
+		c.misses += d.Misses
+		c.errors += d.Errors
+		c.mu.Unlock()
 		return err
 	}
 	return nil
