@@ -10,6 +10,10 @@
 #   make smoke    - run a tiny manifest through `accesys sweep`
 #   make shardsmoke - 3-shard fig4 plan -> run -> merge -> verify the
 #                   merged cache warm-hits every row
+#   make fleetsmoke - one-command fleet (2 workers) over the smoke
+#                   manifest, then verify the merged cache is warm
+#   make fuzz     - short native-fuzz pass over the manifest and shard
+#                   plan parsers (FUZZTIME per target, default 10s)
 #   make golden   - golden-row conformance suite (all nine experiments)
 #   make bench    - one pass over the benchmark harness (short mode)
 #   make cover    - coverage profile with a minimum total-coverage gate
@@ -18,10 +22,13 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race examples smoke shardsmoke golden cover equiv ci bench figures clean
+.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke fuzz golden cover equiv ci bench figures clean
 
 # Minimum total statement coverage (percent) make cover enforces.
-COVER_FLOOR ?= 70
+COVER_FLOOR ?= 75
+
+# Per-target budget for make fuzz.
+FUZZTIME ?= 10s
 
 all: build
 
@@ -72,6 +79,26 @@ shardsmoke:
 	@echo "shardsmoke: merged cache served all 35 rows warm"
 	@rm -rf $(SHARDSMOKE_DIR)
 
+# Fleet smoke: a cold multi-worker sweep as one command, verified by a
+# fully-warm follow-up sweep over the merged cache.
+FLEETSMOKE_DIR := .fleetsmoke
+fleetsmoke:
+	@rm -rf $(FLEETSMOKE_DIR)
+	$(GO) run ./cmd/accesys fleet -workers 2 -out $(FLEETSMOKE_DIR) testdata/smoke.json
+	$(GO) run ./cmd/accesys sweep -cache $(FLEETSMOKE_DIR) -v testdata/smoke.json \
+		> $(FLEETSMOKE_DIR)/rows.txt 2> $(FLEETSMOKE_DIR)/verify.log
+	@grep -q "4 hits, 0 misses" $(FLEETSMOKE_DIR)/verify.log || \
+		{ echo "fleetsmoke: fleet cache not fully warm:"; cat $(FLEETSMOKE_DIR)/verify.log; exit 1; }
+	@echo "fleetsmoke: fleet cache served all 4 rows warm"
+	@rm -rf $(FLEETSMOKE_DIR)
+
+# Short native-fuzz pass: both parsers explore beyond their seed
+# corpora for FUZZTIME each. Crashers land under testdata/fuzz/ in the
+# failing package — commit them as regression seeds after fixing.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzManifestParse$$' -fuzztime $(FUZZTIME) ./internal/scenario
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanParse$$' -fuzztime $(FUZZTIME) ./internal/shard
+
 # The golden suite re-runs all nine experiments and diffs their rows
 # against testdata/golden/ (it skips itself under -short and -race, so
 # this is its only CI entry point).
@@ -90,7 +117,7 @@ cover:
 equiv:
 	$(GO) run ./cmd/accesys equiv fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9
 
-ci: lint vet race examples smoke shardsmoke golden bench cover
+ci: lint vet race examples smoke shardsmoke fleetsmoke fuzz golden bench cover
 
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' .

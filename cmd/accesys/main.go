@@ -6,9 +6,10 @@
 //	accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]
 //	accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...
 //	accesys equiv [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-tol f] [-warn f] [-json] manifest.json|experiment ...
-//	accesys shard plan [-full] -shards N manifest.json
-//	accesys shard run [-full] [-v] [-jobs N] -shard k/N -dir DIR manifest.json
+//	accesys shard plan [-full] [-profile DIR] -shards N manifest.json
+//	accesys shard run [-full] [-v] [-jobs N] [-plan FILE] -shard k/N -dir DIR manifest.json
 //	accesys shard merge -out DIR sharddir ...
+//	accesys fleet [-full] [-v] [-jobs N] [-workers N | -fleet spec.json] [-out DIR] [-work DIR] manifest.json
 //	accesys cachestats [-cache dir] [-gc] [-maxage d] [-maxentries n]
 //	accesys list
 //
@@ -52,6 +53,16 @@
 // fingerprint collisions with differing payloads, and summing
 // persisted counters. A merged cache warm-hits a subsequent
 // `accesys sweep`/`equiv` byte-identically to a single-process run.
+//
+// fleet is the shard launcher folded into one command: it computes a
+// shard plan weighted by the output cache's wall-time profile
+// (profile.json, fed by every cached sweep), drives `shard run` on N
+// workers concurrently — in-process goroutines (-workers), or the
+// subprocess/ssh-style workers a fleet spec declares (-fleet) —
+// reassigns shards away from failed workers (a killed worker's
+// completed points are served warm to its successor, because shard
+// cache directories survive attempts), and merges everything into the
+// output cache.
 //
 // cachestats reports the result cache's on-disk footprint (entries,
 // bytes) and cumulative hit/miss/error counters, and with -gc evicts
@@ -134,6 +145,16 @@ func (a *app) options(f *sweepFlags) scenario.Options {
 			fmt.Fprintf(a.stderr, "accesys: result cache disabled: %v\n", err)
 		} else {
 			opt.Cache = cache
+			// The wall-time profile rides along with the cache: every
+			// cached sweep also learns how long its points take, which
+			// later feeds the fleet launcher's weighted partition. A
+			// corrupt profile only costs future balancing, but silently
+			// never repairing it would cost it forever.
+			if prof, err := sweep.LoadProfile(cache.Dir()); err == nil {
+				opt.Profile = prof
+			} else {
+				fmt.Fprintf(a.stderr, "accesys: wall profile disabled: %v\n", err)
+			}
 		}
 	}
 	return opt
@@ -152,6 +173,11 @@ func (a *app) finish(opt scenario.Options) {
 	}
 	if err := opt.Cache.FlushCounters(); err != nil {
 		fmt.Fprintf(a.stderr, "accesys: persisting cache counters: %v\n", err)
+	}
+	if opt.Profile != nil {
+		if err := opt.Profile.Flush(); err != nil {
+			fmt.Fprintf(a.stderr, "accesys: persisting wall profile: %v\n", err)
+		}
 	}
 }
 
@@ -420,12 +446,14 @@ func (a *app) main(args []string) int {
 			return a.cmdEquiv(args[1:])
 		case "shard":
 			return a.cmdShard(args[1:])
+		case "fleet":
+			return a.cmdFleet(args[1:])
 		case "cachestats":
 			return a.cmdCachestats(args[1:])
 		case "list":
 			return a.cmdList(args[1:])
 		case "help", "-h", "-help", "--help":
-			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|shard|cachestats|list] ...\n")
+			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|shard|fleet|cachestats|list] ...\n")
 			fmt.Fprintf(a.stderr, "run 'accesys <command> -h' for command flags; a bare flag list runs `run`\n")
 			return usageErr
 		}

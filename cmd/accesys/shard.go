@@ -8,8 +8,8 @@ package main
 // byte-identically to a single-process run.
 
 import (
-	"encoding/json"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -20,8 +20,8 @@ import (
 )
 
 func (a *app) shardUsage() {
-	fmt.Fprintf(a.stderr, "usage: accesys shard plan [-full] -shards N manifest.json\n")
-	fmt.Fprintf(a.stderr, "       accesys shard run [-full] [-v] [-jobs N] -shard k/N -dir DIR manifest.json\n")
+	fmt.Fprintf(a.stderr, "usage: accesys shard plan [-full] [-profile DIR] -shards N manifest.json\n")
+	fmt.Fprintf(a.stderr, "       accesys shard run [-full] [-v] [-jobs N] [-plan FILE] -shard k/N -dir DIR manifest.json\n")
 	fmt.Fprintf(a.stderr, "       accesys shard merge -out DIR sharddir ...\n")
 }
 
@@ -47,10 +47,12 @@ func (a *app) cmdShard(args []string) int {
 }
 
 // loadPlan expands the manifest and partitions it — the shared front
-// half of plan and run. The partition hashes raw fingerprints, so the
-// same manifest and shard count yield the same plan on every host and
-// build.
-func (a *app) loadPlan(path string, full bool, shards int) (*scenario.Scenario, []sweep.Point, *shard.Plan, error) {
+// half of plan and run. With no profile the partition hashes raw
+// fingerprints, so the same manifest and shard count yield the same
+// plan on every host and build; with a profile directory the partition
+// additionally balances by that profile's measured walls (and then the
+// plan must travel as a file — see `shard run -plan`).
+func (a *app) loadPlan(path string, full bool, shards int, profileDir string) (*scenario.Scenario, []sweep.Point, *shard.Plan, error) {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return nil, nil, nil, err
@@ -59,7 +61,13 @@ func (a *app) loadPlan(path string, full bool, shards int) (*scenario.Scenario, 
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	plan, err := shard.Partition(sc.Name, full, points, shards)
+	var prof *sweep.Profile
+	if profileDir != "" {
+		if prof, err = sweep.LoadProfile(profileDir); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	plan, err := shard.PartitionWeighted(sc.Name, full, points, shards, prof)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -70,8 +78,9 @@ func (a *app) cmdShardPlan(args []string) int {
 	fs := a.newFlagSet("shard plan")
 	full := fs.Bool("full", false, "partition the paper-scale (-full) expansion")
 	shards := fs.Int("shards", 0, "number of shards to partition into")
+	profileDir := fs.String("profile", "", "balance by the wall-time profile in this cache directory")
 	fs.Usage = func() {
-		fmt.Fprintf(a.stderr, "usage: accesys shard plan [-full] -shards N manifest.json\n")
+		fmt.Fprintf(a.stderr, "usage: accesys shard plan [-full] [-profile DIR] -shards N manifest.json\n")
 		fs.PrintDefaults()
 	}
 	if code := parse(fs, args); code >= 0 {
@@ -84,11 +93,11 @@ func (a *app) cmdShardPlan(args []string) int {
 	if *shards < 1 {
 		return a.errorf("shard plan needs -shards N with N >= 1")
 	}
-	_, _, plan, err := a.loadPlan(fs.Arg(0), *full, *shards)
+	_, _, plan, err := a.loadPlan(fs.Arg(0), *full, *shards, *profileDir)
 	if err != nil {
 		return a.errorf("%v", err)
 	}
-	data, err := json.MarshalIndent(plan, "", "  ")
+	data, err := plan.Marshal()
 	if err != nil {
 		return a.errorf("encoding plan: %v", err)
 	}
@@ -118,8 +127,9 @@ func (a *app) cmdShardRun(args []string) int {
 	jobs := fs.Int("jobs", 0, "parallel simulation workers (default: all CPUs)")
 	spec := fs.String("shard", "", "slice to run, as k/N (0-based shard k of N)")
 	dir := fs.String("dir", "", "self-contained shard cache directory (required)")
+	planPath := fs.String("plan", "", "execute this serialized plan instead of recomputing the partition (required for weighted plans)")
 	fs.Usage = func() {
-		fmt.Fprintf(a.stderr, "usage: accesys shard run [-full] [-v] [-jobs N] -shard k/N -dir DIR manifest.json\n")
+		fmt.Fprintf(a.stderr, "usage: accesys shard run [-full] [-v] [-jobs N] [-plan FILE] -shard k/N -dir DIR manifest.json\n")
 		fs.PrintDefaults()
 	}
 	if code := parse(fs, args); code >= 0 {
@@ -137,8 +147,36 @@ func (a *app) cmdShardRun(args []string) int {
 		return a.errorf("%v", err)
 	}
 
-	sc, points, plan, err := a.loadPlan(fs.Arg(0), *full, n)
-	if err != nil {
+	var sc *scenario.Scenario
+	var points []sweep.Point
+	var plan *shard.Plan
+	if *planPath != "" {
+		// A serialized plan (a weighted one depends on the profile of
+		// the machine that computed it, so it can only travel by file).
+		// Worker.Run still revalidates every fingerprint digest against
+		// the actual expansion.
+		if sc, err = scenario.Load(fs.Arg(0)); err != nil {
+			return a.errorf("%v", err)
+		}
+		if points, err = sc.PointsFor(*full); err != nil {
+			return a.errorf("%v", err)
+		}
+		data, err := os.ReadFile(*planPath)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		if plan, err = shard.ParsePlan(data); err != nil {
+			return a.errorf("%v", err)
+		}
+		switch {
+		case plan.Scenario != sc.Name:
+			return a.errorf("plan %s partitions scenario %q, manifest declares %q", *planPath, plan.Scenario, sc.Name)
+		case plan.Full != *full:
+			return a.errorf("plan %s was computed with full=%v; pass the matching -full flag", *planPath, plan.Full)
+		case plan.Shards != n:
+			return a.errorf("plan %s has %d shards, -shard says %d", *planPath, plan.Shards, n)
+		}
+	} else if sc, points, plan, err = a.loadPlan(fs.Arg(0), *full, n, ""); err != nil {
 		return a.errorf("%v", err)
 	}
 	w := &shard.Worker{Dir: *dir, Jobs: *jobs}

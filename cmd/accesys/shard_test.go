@@ -220,6 +220,86 @@ func TestShardConcurrentWorkers(t *testing.T) {
 	}
 }
 
+func TestShardWeightedPlanRoundTripViaCLI(t *testing.T) {
+	// Warm a cache (which also warms its wall-time profile), compute a
+	// weighted plan from it, and run both shards from the serialized
+	// plan file — the same path the fleet launcher drives.
+	manifest := writeManifest(t, quadManifest)
+	root := t.TempDir()
+	cacheDir := filepath.Join(root, "cache")
+	if code, _, errOut := testApp(t, "sweep", "-cache", cacheDir, manifest); code != 0 {
+		t.Fatalf("profiling sweep failed:\n%s", errOut)
+	}
+
+	code, planJSON, errOut := testApp(t, "shard", "plan", "-profile", cacheDir, "-shards", "2", manifest)
+	if code != 0 {
+		t.Fatalf("weighted plan exit %d:\n%s", code, errOut)
+	}
+	if !strings.Contains(planJSON, `"weighted": true`) || !strings.Contains(planJSON, `"predicted_wall_ns"`) {
+		t.Fatalf("plan is not weighted:\n%s", planJSON)
+	}
+	planPath := filepath.Join(root, "plan.json")
+	if err := os.WriteFile(planPath, []byte(planJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var dirs []string
+	for k := 0; k < 2; k++ {
+		dir := filepath.Join(root, fmt.Sprintf("s%d", k))
+		code, out, errOut := testApp(t, "shard", "run", "-plan", planPath, "-shard", fmt.Sprintf("%d/2", k), "-dir", dir, manifest)
+		if code != 0 {
+			t.Fatalf("shard run -plan %d/2 exit %d:\n%s%s", k, code, out, errOut)
+		}
+		dirs = append(dirs, dir)
+	}
+	merged := filepath.Join(root, "merged")
+	if code, _, errOut := testApp(t, append([]string{"shard", "merge", "-out", merged}, dirs...)...); code != 0 {
+		t.Fatalf("merge exit %d:\n%s", code, errOut)
+	}
+	_, _, errOut = testApp(t, "sweep", "-cache", merged, "-v", manifest)
+	if !strings.Contains(errOut, "4 hits, 0 misses") {
+		t.Fatalf("merged weighted-plan cache not fully warm:\n%s", errOut)
+	}
+}
+
+func TestShardRunRejectsMismatchedPlan(t *testing.T) {
+	manifest := writeManifest(t, quadManifest)
+	root := t.TempDir()
+	code, planJSON, errOut := testApp(t, "shard", "plan", "-shards", "2", manifest)
+	if code != 0 {
+		t.Fatalf("plan exit %d:\n%s", code, errOut)
+	}
+	planPath := filepath.Join(root, "plan.json")
+	if err := os.WriteFile(planPath, []byte(planJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "s0")
+	// Shard width disagrees with the plan.
+	if code, _, _ := testApp(t, "shard", "run", "-plan", planPath, "-shard", "0/3", "-dir", dir, manifest); code != 2 {
+		t.Fatal("plan/shard width mismatch accepted")
+	}
+	// -full disagrees with the plan.
+	if code, _, _ := testApp(t, "shard", "run", "-full", "-plan", planPath, "-shard", "0/2", "-dir", dir, manifest); code != 2 {
+		t.Fatal("plan/full mismatch accepted")
+	}
+	// A different manifest (scenario name) disagrees with the plan.
+	other := writeManifest(t, miniManifest)
+	if code, _, _ := testApp(t, "shard", "run", "-plan", planPath, "-shard", "0/2", "-dir", dir, other); code != 2 {
+		t.Fatal("plan/scenario mismatch accepted")
+	}
+	// A missing or corrupt plan file fails loudly.
+	if code, _, _ := testApp(t, "shard", "run", "-plan", "no/such/plan.json", "-shard", "0/2", "-dir", dir, manifest); code != 2 {
+		t.Fatal("missing plan accepted")
+	}
+	bad := filepath.Join(root, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := testApp(t, "shard", "run", "-plan", bad, "-shard", "0/2", "-dir", dir, manifest); code != 2 {
+		t.Fatal("corrupt plan accepted")
+	}
+}
+
 // stripNotes drops the trailing comment lines (wall time, shape
 // checks) a renderer appends, leaving title, header, and data rows.
 func stripNotes(table string) string {

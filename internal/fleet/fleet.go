@@ -1,0 +1,453 @@
+// Package fleet is the launcher that turns a partitioned sweep into
+// one command: it takes a (preferably wall-time-weighted) shard plan
+// plus a fleet spec naming N workers, drives `shard run` on every
+// worker concurrently, reassigns a failed worker's shard to a healthy
+// one (the shard's cache directory survives attempts, so completed
+// points are served warm to the successor), streams per-shard
+// progress, and finishes with the idempotent merge into one canonical
+// cache — the scale-out path for paper-scale (-full) sweeps that
+// parti-gem5 motivates for gem5's timing mode.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"accesys/internal/shard"
+	"accesys/internal/sweep"
+)
+
+// WorkerSpec declares one fleet worker.
+type WorkerSpec struct {
+	// Name labels the worker in progress output (default: kind+index).
+	Name string `json:"name,omitempty"`
+	// Kind is "inprocess" (default), "subprocess", or "command".
+	Kind string `json:"kind,omitempty"`
+	// Command is the argv template for command workers; see Command.
+	Command []string `json:"command,omitempty"`
+	// Env entries are appended to the environment of subprocess and
+	// command workers.
+	Env []string `json:"env,omitempty"`
+	// Jobs bounds the worker's simulation pool (0 = one per CPU).
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// Spec is a fleet description — what `accesys fleet -fleet fleet.json`
+// loads.
+type Spec struct {
+	Workers []WorkerSpec `json:"workers"`
+}
+
+// ParseSpec decodes and validates one fleet spec. Unknown fields are
+// rejected so typos fail loudly.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fleet: spec: %v", err)
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("fleet: spec: trailing data after the spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and validates the fleet spec at path.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %v", err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("%v (spec %s)", err, path)
+	}
+	return s, nil
+}
+
+// LocalSpec is the `-workers N` fleet: N in-process workers.
+func LocalSpec(n int) *Spec {
+	s := &Spec{Workers: make([]WorkerSpec, n)}
+	for i := range s.Workers {
+		s.Workers[i] = WorkerSpec{Name: fmt.Sprintf("local%d", i), Kind: "inprocess"}
+	}
+	return s
+}
+
+// Validate checks the spec without building executors.
+func (s *Spec) Validate() error {
+	if len(s.Workers) == 0 {
+		return fmt.Errorf("fleet: spec declares no workers")
+	}
+	seen := map[string]bool{}
+	for i, w := range s.Workers {
+		switch w.Kind {
+		case "", "inprocess", "subprocess":
+			if len(w.Command) != 0 {
+				return fmt.Errorf("fleet: worker %d (%s): command is only valid for kind \"command\"", i, w.name(i))
+			}
+		case "command":
+			if len(w.Command) == 0 {
+				return fmt.Errorf("fleet: worker %d (%s): command workers need a command template", i, w.name(i))
+			}
+		default:
+			return fmt.Errorf("fleet: worker %d: unknown kind %q (want inprocess, subprocess, or command)", i, w.Kind)
+		}
+		if w.Jobs < 0 {
+			return fmt.Errorf("fleet: worker %d (%s): negative jobs", i, w.name(i))
+		}
+		name := w.name(i)
+		if seen[name] {
+			return fmt.Errorf("fleet: duplicate worker name %q", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+func (w WorkerSpec) name(i int) string {
+	if w.Name != "" {
+		return w.Name
+	}
+	kind := w.Kind
+	if kind == "" {
+		kind = "inprocess"
+	}
+	return fmt.Sprintf("%s%d", kind, i)
+}
+
+// ExecutorDeps carries what executors need beyond the spec: the
+// expanded scenario for in-process workers and the stream worker
+// output lands on.
+type ExecutorDeps struct {
+	Plan   *shard.Plan
+	Points []sweep.Point
+	// Out receives worker output and progress; nil discards. Workers
+	// write from their own goroutines, so when the scheduler's Out is
+	// the same destination, pass one shared SyncWriter to both.
+	Out io.Writer
+}
+
+// Executors builds one executor per declared worker.
+func (s *Spec) Executors(deps ExecutorDeps) ([]Executor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := deps.Out
+	if out == nil {
+		out = io.Discard
+	}
+	execs := make([]Executor, len(s.Workers))
+	for i, w := range s.Workers {
+		name := w.name(i)
+		prefixed := newPrefixWriter(out, "fleet "+name+": ")
+		switch w.Kind {
+		case "", "inprocess":
+			if deps.Plan == nil || deps.Points == nil {
+				return nil, fmt.Errorf("fleet: worker %s: in-process workers need the expanded scenario", name)
+			}
+			execs[i] = &InProcess{WorkerName: name, Plan: deps.Plan, Points: deps.Points, Jobs: w.Jobs, Out: prefixed}
+		case "subprocess":
+			execs[i] = &Subprocess{WorkerName: name, Env: w.Env, Jobs: w.Jobs, Out: prefixed}
+		case "command":
+			execs[i] = &Command{WorkerName: name, Template: w.Command, Env: w.Env, Jobs: w.Jobs, Out: prefixed}
+		}
+	}
+	return execs, nil
+}
+
+// ShardResult records how one shard was eventually completed.
+type ShardResult struct {
+	// Shard is the slice index; Worker names the executor that finally
+	// completed it.
+	Shard  int    `json:"shard"`
+	Worker string `json:"worker"`
+	// Attempts counts executions including the successful one.
+	Attempts int `json:"attempts"`
+	// WallNs is the successful attempt's scheduler-side wall time.
+	WallNs int64 `json:"wall_ns"`
+	// Points, Cold, and Warm echo the shard summary's accounting.
+	Points int `json:"points"`
+	Cold   int `json:"cold"`
+	Warm   int `json:"warm"`
+}
+
+// Report summarises one fleet run.
+type Report struct {
+	// Shards has one entry per shard, in shard order.
+	Shards []ShardResult `json:"shards"`
+	// Reassigned counts failed attempts that moved a shard to another
+	// worker; Retired counts workers taken out of rotation.
+	Reassigned int `json:"reassigned"`
+	Retired    int `json:"retired"`
+	// Merge is the final fold into the canonical cache.
+	Merge *shard.MergeStats `json:"merge"`
+	// Dirs are the shard cache directories, in shard order.
+	Dirs []string `json:"dirs"`
+}
+
+// Scheduler drives one fleet run: every shard of Plan through the
+// Workers, then the merge into OutDir.
+type Scheduler struct {
+	// Plan is the partition to execute; Manifest and PlanPath are the
+	// files workers load it from.
+	Plan     *shard.Plan
+	Manifest string
+	PlanPath string
+	// Workers execute jobs; build them with Spec.Executors.
+	Workers []Executor
+	// WorkDir holds the per-shard cache directories (s0, s1, ...).
+	WorkDir string
+	// OutDir is the canonical cache the shards merge into.
+	OutDir string
+	// Full, Jobs, Verbose forward the sweep execution knobs to jobs.
+	Full    bool
+	Jobs    int
+	Verbose bool
+	// Out receives fleet progress lines; nil discards. Share one
+	// SyncWriter with ExecutorDeps.Out when both target the same
+	// destination — workers write concurrently from their own
+	// goroutines.
+	Out io.Writer
+	// MaxAttempts bounds executions per shard (default 3).
+	MaxAttempts int
+	// RetireAfter takes a worker out of rotation after this many
+	// consecutive failures (default 2).
+	RetireAfter int
+}
+
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.Out != nil {
+		fmt.Fprintf(s.Out, format+"\n", args...)
+	}
+}
+
+// weight is the shard's predicted cost for dispatch ordering: profiled
+// wall when the plan is weighted, point count otherwise.
+func (s *Scheduler) weight(k int) int64 {
+	if s.Plan.Weighted {
+		return s.Plan.PredictedWallNs[k]
+	}
+	return int64(s.Plan.Counts[k])
+}
+
+// Dir returns shard k's cache directory.
+func (s *Scheduler) Dir(k int) string {
+	return filepath.Join(s.WorkDir, fmt.Sprintf("s%d", k))
+}
+
+type runResult struct {
+	worker int
+	shard  int
+	err    error
+	wall   time.Duration
+}
+
+// Run executes the fleet: dispatch (heaviest shard first to the first
+// idle worker), retry with reassignment on failure, merge on success.
+// It returns an error when a shard exhausts MaxAttempts, when no
+// eligible worker remains for a pending shard, or when the final merge
+// fails.
+func (s *Scheduler) Run(ctx context.Context) (*Report, error) {
+	n := s.Plan.Shards
+	if len(s.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers")
+	}
+	maxAttempts := s.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	retireAfter := s.RetireAfter
+	if retireAfter <= 0 {
+		retireAfter = 2
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heaviest shards dispatch first so a long slice is never the last
+	// thing started — the fleet-level half of LPT scheduling.
+	pending := make([]int, n)
+	for k := range pending {
+		pending[k] = k
+	}
+	sort.SliceStable(pending, func(a, b int) bool {
+		return s.weight(pending[a]) > s.weight(pending[b])
+	})
+
+	jobs := make([]chan Job, len(s.Workers))
+	results := make(chan runResult, len(s.Workers))
+	for w := range s.Workers {
+		jobs[w] = make(chan Job, 1)
+		go func(w int) {
+			for job := range jobs[w] {
+				start := time.Now()
+				err := s.Workers[w].Run(ctx, job)
+				results <- runResult{worker: w, shard: job.Shard, err: err, wall: time.Since(start)}
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range jobs {
+			close(ch)
+		}
+	}()
+
+	excluded := make([]map[int]bool, n)
+	lastFailedOn := make([]int, n)
+	for k := range excluded {
+		excluded[k] = map[int]bool{}
+		lastFailedOn[k] = -1
+	}
+	attempts := make([]int, n)
+	consecFails := make([]int, len(s.Workers))
+	retired := make([]bool, len(s.Workers))
+	idle := make([]int, 0, len(s.Workers))
+	for w := range s.Workers {
+		idle = append(idle, w)
+	}
+
+	rep := &Report{Shards: make([]ShardResult, n), Dirs: make([]string, n)}
+	for k := 0; k < n; k++ {
+		rep.Dirs[k] = s.Dir(k)
+	}
+
+	inflight := 0
+	completed := 0
+	fail := func(format string, args ...any) (*Report, error) {
+		// Abort: cancel running jobs and drain them so no goroutine is
+		// left sending on results.
+		cancel()
+		for inflight > 0 {
+			<-results
+			inflight--
+		}
+		return nil, fmt.Errorf(format, args...)
+	}
+	for completed < n {
+		// Dispatch every idle worker that has an eligible pending shard.
+		var stillIdle []int
+		for _, w := range idle {
+			picked := -1
+			for pi, k := range pending {
+				if !excluded[k][w] {
+					picked = pi
+					break
+				}
+			}
+			if picked < 0 {
+				stillIdle = append(stillIdle, w)
+				continue
+			}
+			k := pending[picked]
+			pending = append(pending[:picked], pending[picked+1:]...)
+			attempts[k]++
+			// A reassignment is a shard genuinely moving to a different
+			// worker after a failure; a sole worker retrying its own
+			// shard is not one.
+			if lastFailedOn[k] >= 0 && lastFailedOn[k] != w {
+				rep.Reassigned++
+			}
+			s.logf("fleet: shard %d/%d -> %s (attempt %d)", k, n, s.Workers[w].Name(), attempts[k])
+			jobs[w] <- Job{
+				Shard: k, Of: n, Dir: s.Dir(k),
+				Manifest: s.Manifest, PlanPath: s.PlanPath,
+				Full: s.Full, Jobs: s.Jobs, Verbose: s.Verbose,
+			}
+			inflight++
+		}
+		idle = stillIdle
+
+		if inflight == 0 {
+			// Nothing running and nothing dispatchable. Before giving
+			// up, let pending shards retry on live workers that already
+			// failed them — a small fleet has no one else, and the
+			// shard's surviving cache directory makes the retry cheap.
+			// MaxAttempts still bounds total executions and RetireAfter
+			// still removes workers that keep dying.
+			cleared := false
+			for _, k := range pending {
+				for w := range s.Workers {
+					if excluded[k][w] && !retired[w] {
+						delete(excluded[k], w)
+						cleared = true
+					}
+				}
+			}
+			if cleared {
+				continue
+			}
+			return fail("fleet: no eligible worker remains for shard %d (every live worker already failed it)", pending[0])
+		}
+
+		r := <-results
+		inflight--
+		w, k := r.worker, r.shard
+		if r.err == nil {
+			completed++
+			consecFails[w] = 0
+			sum, err := shard.ReadSummary(s.Dir(k))
+			if err != nil {
+				return fail("fleet: shard %d reported success but %v", k, err)
+			}
+			rep.Shards[k] = ShardResult{
+				Shard: k, Worker: s.Workers[w].Name(), Attempts: attempts[k],
+				WallNs: r.wall.Nanoseconds(),
+				Points: sum.Points, Cold: sum.Cold, Warm: sum.Warm,
+			}
+			s.logf("fleet: shard %d/%d done on %s in %.1fs (%d cold, %d warm)",
+				k, n, s.Workers[w].Name(), r.wall.Seconds(), sum.Cold, sum.Warm)
+			if !retired[w] {
+				idle = append(idle, w)
+			}
+			continue
+		}
+
+		// Failure: exclude this worker from the shard, re-queue it for
+		// the others, and retire a worker that keeps dying.
+		excluded[k][w] = true
+		lastFailedOn[k] = w
+		consecFails[w]++
+		s.logf("fleet: shard %d/%d failed on %s: %v; reassigning", k, n, s.Workers[w].Name(), r.err)
+		if attempts[k] >= maxAttempts {
+			return fail("fleet: shard %d failed %d times (last worker %s): %v", k, attempts[k], s.Workers[w].Name(), r.err)
+		}
+		// Re-insert by weight so the retried shard keeps its priority.
+		at := len(pending)
+		for pi, pk := range pending {
+			if s.weight(k) > s.weight(pk) {
+				at = pi
+				break
+			}
+		}
+		pending = append(pending[:at], append([]int{k}, pending[at:]...)...)
+		if consecFails[w] >= retireAfter {
+			retired[w] = true
+			rep.Retired++
+			s.logf("fleet: worker %s retired after %d consecutive failures", s.Workers[w].Name(), consecFails[w])
+		} else if !retired[w] {
+			idle = append(idle, w)
+		}
+	}
+
+	merge, err := shard.Merge(s.OutDir, rep.Dirs)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: merging shards: %v", err)
+	}
+	rep.Merge = merge
+	s.logf("fleet: merged %d shards into %s (%d entries imported, %d duplicates)",
+		n, s.OutDir, merge.Imported, merge.Duplicates)
+	return rep, nil
+}

@@ -1,0 +1,59 @@
+package scenario
+
+// Native fuzz target for the manifest parser: arbitrary bytes must
+// never panic Parse, and any manifest it accepts must round-trip
+// Parse -> Marshal -> Parse with byte-stable output — the property
+// that lets tooling regenerate manifests from loaded scenarios. Seeded
+// from every committed manifest (this package's testdata plus the
+// repo-root testdata the CLI ships). Run `make fuzz` for a short
+// exploration; plain `go test` replays the seed corpus.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func FuzzManifestParse(f *testing.F) {
+	for _, dir := range []string{"testdata", filepath.Join("..", "..", "testdata")} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, de := range entries {
+			if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+			if err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	f.Add([]byte(`{"name":"t","workload":{"kind":"gemm","n":64},"axes":[{"axis":"lanes","values":[1]}]}`))
+	f.Add([]byte(`{"name":"v","workload":{"kind":"vit"},"axes":[{"axis":"model","values":["vit-base"]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // invalid input rejected cleanly is the contract
+		}
+		m1, err := Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted manifest fails to marshal: %v", err)
+		}
+		s2, err := Parse(m1)
+		if err != nil {
+			t.Fatalf("marshal output does not re-parse: %v\n%s", err, m1)
+		}
+		m2, err := Marshal(s2)
+		if err != nil {
+			t.Fatalf("re-parsed manifest fails to marshal: %v", err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("round trip unstable:\n--- first\n%s\n--- second\n%s", m1, m2)
+		}
+	})
+}

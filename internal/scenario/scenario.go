@@ -509,6 +509,10 @@ type Options struct {
 	// Cache, when non-nil, memoises completed runs on disk so repeated
 	// invocations skip untouched design points.
 	Cache *sweep.Cache
+	// Profile, when non-nil, records measured per-point wall times —
+	// the weighted shard partitioner's scheduling input. Flush it after
+	// the run to persist.
+	Profile *sweep.Profile
 }
 
 // Logf writes a progress line when verbose output is enabled.
@@ -523,7 +527,7 @@ func (o Options) Logf(format string, args ...any) {
 // when the options ask for it, and returns outcomes in declaration
 // order.
 func (o Options) Sweep(label string, points []sweep.Point) []sweep.Outcome {
-	eng := &sweep.Engine{Jobs: o.Jobs, Cache: o.Cache}
+	eng := &sweep.Engine{Jobs: o.Jobs, Cache: o.Cache, Profile: o.Profile}
 	if o.Verbose && o.Out != nil {
 		eng.OnResult = sweep.NewProgress(o.Out, label, len(points), eng.Workers(len(points))).Observe
 	}

@@ -86,24 +86,7 @@ func writeLedger(dst string, seen map[string]bool) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dst, "merged-*.tmp")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dst, ledgerName)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return sweep.WriteFileAtomic(dst, "merged-*.tmp", ledgerName, append(data, '\n'))
 }
 
 // Merge folds the shard directories into one canonical cache at dst
@@ -154,6 +137,17 @@ func Merge(dst string, srcs []string) (*MergeStats, error) {
 	}
 	st := &MergeStats{Shards: len(srcs), Salt: sums[0].Salt}
 	var totals sweep.Counters
+	// The destination's wall-time profile folds in each shard's
+	// estimates so it can seed the next weighted plan. Like the
+	// counters, the fold is gated on the ledger: retrying a merge that
+	// *completed* must not re-apply the EWMA (which would skew
+	// estimates toward the source on every retry). Retrying a merge
+	// that failed partway may refold — the advisory accounting
+	// (profile, counters) is only exactly-once across successful
+	// merges; entry deduplication alone is unconditional. A malformed
+	// destination profile just disables folding — profiles are
+	// advisory scheduling hints, never correctness.
+	dp, dperr := sweep.LoadProfile(dst)
 	for i, dir := range srcs {
 		src, err := sweep.Open(dir)
 		if err != nil {
@@ -180,6 +174,21 @@ func Merge(dst string, srcs []string) (*MergeStats, error) {
 		totals.Errors += c.Errors
 		st.Points += sums[i].Points
 		st.WallNs += sums[i].WallNs
+		if dperr == nil {
+			if sp, err := sweep.LoadProfile(dir); err == nil {
+				dp.Fold(sp)
+			}
+		}
+	}
+	// The profile flushes before the counters fold: a failure here
+	// aborts the merge while the destination is untouched beyond
+	// entries, and AddCounters stays immediately adjacent to the
+	// ledger write — the only remaining window in which a crash makes
+	// a retried merge double-count counters (and refold the profile).
+	if dperr == nil {
+		if err := dp.Flush(); err != nil {
+			return nil, fmt.Errorf("shard: folding wall profiles: %v", err)
+		}
 	}
 	if err := dc.AddCounters(totals); err != nil {
 		return nil, fmt.Errorf("shard: folding counters: %v", err)

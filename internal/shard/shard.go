@@ -17,7 +17,6 @@ package shard
 import (
 	"bytes"
 	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"io"
 	"strconv"
@@ -59,11 +58,10 @@ func Assign(fingerprint string, n int) int {
 
 // Digest is the hex SHA-256 of a raw fingerprint — how plans and
 // summaries reference points without embedding the full (long)
-// fingerprint material.
-func Digest(fingerprint string) string {
-	s := sha256.Sum256([]byte(fingerprint))
-	return hex.EncodeToString(s[:])
-}
+// fingerprint material. It is the same identity wall-time profiles
+// key on (sweep.Digest), so a plan's fingerprints look up profiled
+// walls directly.
+func Digest(fingerprint string) string { return sweep.Digest(fingerprint) }
 
 // Assignment places one expanded point in the partition.
 type Assignment struct {
@@ -89,6 +87,16 @@ type Plan struct {
 	Shards int `json:"shards"`
 	// Counts is the per-shard point count (len == Shards).
 	Counts []int `json:"counts"`
+	// Weighted reports whether measured wall times drove the partition
+	// (greedy LPT over a profile); false means pure rendezvous hashing.
+	Weighted bool `json:"weighted,omitempty"`
+	// Profiled counts the points whose fingerprints had profiled walls
+	// (weighted plans only).
+	Profiled int `json:"profiled,omitempty"`
+	// PredictedWallNs is the per-shard predicted wall time in
+	// nanoseconds (len == Shards; weighted plans only). Unprofiled
+	// points contribute the mean profiled wall.
+	PredictedWallNs []int64 `json:"predicted_wall_ns,omitempty"`
 	// Points assigns every expanded point, in expansion order.
 	Points []Assignment `json:"points"`
 }

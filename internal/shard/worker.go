@@ -79,6 +79,13 @@ func (w *Worker) Run(plan *Plan, k int, points []sweep.Point) (*Summary, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Wall-time profiling feeds the weighted partitioner; a malformed
+	// profile is a scheduling hint gone bad, not a reason to refuse
+	// work, so it is simply not updated this run.
+	prof, perr := sweep.LoadProfile(w.Dir)
+	if perr != nil {
+		prof = nil
+	}
 
 	sel := plan.Select(k)
 	slice := make([]sweep.Point, len(sel))
@@ -94,7 +101,7 @@ func (w *Worker) Run(plan *Plan, k int, points []sweep.Point) (*Summary, error) 
 		Salt:     cache.Salt,
 		Points:   len(slice),
 	}
-	eng := &sweep.Engine{Jobs: w.Jobs, Cache: cache, OnResult: func(r sweep.Result) {
+	eng := &sweep.Engine{Jobs: w.Jobs, Cache: cache, Profile: prof, OnResult: func(r sweep.Result) {
 		if r.Cached {
 			sum.Warm++
 		} else {
@@ -110,6 +117,11 @@ func (w *Worker) Run(plan *Plan, k int, points []sweep.Point) (*Summary, error) 
 
 	if err := cache.FlushCounters(); err != nil {
 		return nil, fmt.Errorf("shard: persisting counters: %v", err)
+	}
+	if prof != nil {
+		if err := prof.Flush(); err != nil {
+			return nil, fmt.Errorf("shard: persisting wall profile: %v", err)
+		}
 	}
 	if sum.Counters, err = cache.Counters(); err != nil {
 		return nil, fmt.Errorf("shard: reading counters: %v", err)
@@ -127,24 +139,7 @@ func writeSummary(dir string, sum *Summary) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, "shard-*.tmp")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, SummaryName)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return sweep.WriteFileAtomic(dir, "shard-*.tmp", SummaryName, append(data, '\n'))
 }
 
 // ReadSummary loads dir's shard.json — how the merge step learns a

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"accesys/internal/sim"
 	"accesys/internal/sweep"
@@ -218,6 +219,71 @@ func TestMergeIsIdempotent(t *testing.T) {
 	}
 	if st.AlreadyMerged != 0 || st.Points != plan.Counts[0] {
 		t.Fatalf("re-run shard not re-folded: %+v", st)
+	}
+}
+
+func TestMergeFoldsProfilesOnceUnderRetry(t *testing.T) {
+	// Shard workers profile their points; the merge folds those
+	// profiles into the destination — but, like the counters, only once
+	// per shard state: a retried merge must not keep EWMA-ing a
+	// destination estimate toward the source.
+	pts := fakePoints(6, nil)
+	plan := mustPartition(t, pts, 2)
+	dirs := runShards(t, plan, pts)
+	dst := filepath.Join(t.TempDir(), "merged")
+
+	// Pin a known estimate for one of shard 0's points in the source,
+	// and a deliberately different one in the destination (fake points
+	// run in ~zero wall, so the workers' own measurements may or may
+	// not have registered).
+	target := pts[plan.Select(0)[0]].Fingerprint
+	sp, err := sweep.LoadProfile(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Observe(target, 2*time.Second)
+	if err := sp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dp, err := sweep.LoadProfile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.Observe(target, 8*time.Second)
+	if err := dp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Merge(dst, dirs); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := sweep.LoadProfile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1, ok := merged.Wall(target)
+	if !ok {
+		t.Fatal("seeded estimate vanished")
+	}
+	if after1 == 8*time.Second {
+		t.Fatal("merge did not fold the source estimate at all")
+	}
+
+	// Retried merge: the ledger marks both shard states folded, so the
+	// profile must not move again.
+	if _, err := Merge(dst, dirs); err != nil {
+		t.Fatal(err)
+	}
+	merged, err = sweep.LoadProfile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after2, _ := merged.Wall(target)
+	if after2 != after1 {
+		t.Fatalf("retried merge re-folded the profile: %v -> %v", after1, after2)
 	}
 }
 

@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProfileObserveAndLookup(t *testing.T) {
+	p, err := LoadProfile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Wall("fp-a"); ok {
+		t.Fatal("empty profile claims an estimate")
+	}
+	p.Observe("fp-a", 4*time.Second)
+	if w, ok := p.Wall("fp-a"); !ok || w != 4*time.Second {
+		t.Fatalf("first observation = %v, %v; want 4s", w, ok)
+	}
+	// EWMA with alpha 0.5: halfway from 4s toward 2s.
+	p.Observe("fp-a", 2*time.Second)
+	if w, _ := p.Wall("fp-a"); w != 3*time.Second {
+		t.Fatalf("EWMA = %v, want 3s", w)
+	}
+	// Zero walls (cache hits) must not poison the estimate.
+	p.Observe("fp-a", 0)
+	if w, _ := p.Wall("fp-a"); w != 3*time.Second {
+		t.Fatalf("zero wall moved the EWMA to %v", w)
+	}
+	// Digest keying: the plan-side lookup sees the same value.
+	if w, ok := p.WallByDigest(Digest("fp-a")); !ok || w != 3*time.Second {
+		t.Fatalf("WallByDigest = %v, %v", w, ok)
+	}
+}
+
+func TestProfileFlushRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	p, err := LoadProfile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe("fp-a", 2*time.Second)
+	p.Observe("fp-b", 500*time.Millisecond)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("reloaded profile has %d entries, want 2", got.Len())
+	}
+	if w, _ := got.Wall("fp-a"); w != 2*time.Second {
+		t.Fatalf("reloaded fp-a = %v", w)
+	}
+	if w, _ := got.Wall("fp-b"); w != 500*time.Millisecond {
+		t.Fatalf("reloaded fp-b = %v", w)
+	}
+}
+
+func TestProfileFlushOverlaysDoesNotClobber(t *testing.T) {
+	// Two profiles over one directory observing disjoint points: the
+	// second flush must keep the first's estimates.
+	dir := t.TempDir()
+	p1, _ := LoadProfile(dir)
+	p1.Observe("fp-a", time.Second)
+	if err := p1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := LoadProfile(dir) // loaded before p1 flushed would also work
+	p2.Observe("fp-b", 2*time.Second)
+	if err := p2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := LoadProfile(dir)
+	if w, ok := got.Wall("fp-a"); !ok || w != time.Second {
+		t.Fatalf("fp-a clobbered: %v, %v", w, ok)
+	}
+	if w, ok := got.Wall("fp-b"); !ok || w != 2*time.Second {
+		t.Fatalf("fp-b missing: %v, %v", w, ok)
+	}
+}
+
+func TestProfileFlushWithoutUpdatesWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := LoadProfile(dir)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ProfileName)); !os.IsNotExist(err) {
+		t.Fatal("no-op flush created a profile file")
+	}
+}
+
+func TestProfileMalformedFileIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ProfileName), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(dir); err == nil {
+		t.Fatal("malformed profile loaded silently")
+	}
+}
+
+func TestProfileFoldSemantics(t *testing.T) {
+	src, _ := LoadProfile(t.TempDir())
+	src.Observe("fp-a", 2*time.Second)
+	src.Observe("fp-b", 4*time.Second)
+
+	dst, _ := LoadProfile(t.TempDir())
+	dst.Observe("fp-b", 2*time.Second)
+	dst.Fold(src)
+	// Absent key copies, present key moves halfway: b = (2+4)/2 = 3s.
+	if w, _ := dst.Wall("fp-a"); w != 2*time.Second {
+		t.Fatalf("folded fp-a = %v", w)
+	}
+	if w, _ := dst.Wall("fp-b"); w != 3*time.Second {
+		t.Fatalf("folded fp-b = %v", w)
+	}
+
+	// Folding equal values is a no-op (fp-a matches src exactly), but a
+	// still-differing key keeps moving toward the source — which is why
+	// replayed folds must be ledger-gated by the caller.
+	dst.Fold(src)
+	if w, _ := dst.Wall("fp-a"); w != 2*time.Second {
+		t.Fatalf("re-folded fp-a drifted to %v", w)
+	}
+	if w, _ := dst.Wall("fp-b"); w != 3500*time.Millisecond {
+		t.Fatalf("re-folded fp-b = %v, want 3.5s", w)
+	}
+}
+
+func TestEngineRecordsProfile(t *testing.T) {
+	prof, err := LoadProfile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	var calls int
+	eng := &Engine{
+		Jobs:    1,
+		Profile: prof,
+		// Each clock reading advances 100ms: every cold point measures
+		// a 100ms wall.
+		Clock: func() time.Time { calls++; return base.Add(time.Duration(calls) * 100 * time.Millisecond) },
+	}
+	points := []Point{
+		{Key: "a", Fingerprint: "fp-a", Run: func() Outcome { return Outcome{Dur: 1} }},
+		{Key: "b", Run: func() Outcome { return Outcome{Dur: 1} }}, // no fingerprint: unprofiled
+	}
+	eng.Run(points)
+	if prof.Len() != 1 {
+		t.Fatalf("profile holds %d entries, want 1 (fingerprint-less point must not profile)", prof.Len())
+	}
+	if w, ok := prof.Wall("fp-a"); !ok || w != 100*time.Millisecond {
+		t.Fatalf("profiled wall = %v, %v; want 100ms", w, ok)
+	}
+}
+
+func TestEngineCacheHitDoesNotProfile(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put("fp-a", Outcome{Dur: 7})
+	prof, _ := LoadProfile(dir)
+	eng := &Engine{Jobs: 1, Cache: cache, Profile: prof}
+	eng.Run([]Point{{Key: "a", Fingerprint: "fp-a", Run: func() Outcome { panic("must be served warm") }}})
+	if prof.Len() != 0 {
+		t.Fatalf("cache hit profiled: %d entries", prof.Len())
+	}
+}

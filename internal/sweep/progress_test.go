@@ -79,6 +79,37 @@ func TestEngineWorkers(t *testing.T) {
 	}
 }
 
+// TestProgressETADeterministicWithInjectedClock pins the exact
+// progress output of a full engine run under a scripted clock: the
+// engine's Clock field is the only time source on the ETA path, so the
+// lines — wall notes and ETAs included — must be byte-stable.
+func TestProgressETADeterministicWithInjectedClock(t *testing.T) {
+	var sb strings.Builder
+	base := time.Unix(1000, 0)
+	var calls int
+	eng := &Engine{
+		Jobs: 1,
+		// Every reading advances 1.5s; runPoint reads twice per cold
+		// point, so each point measures a 1.5s wall.
+		Clock: func() time.Time { calls++; return base.Add(time.Duration(calls) * 1500 * time.Millisecond) },
+	}
+	points := []Point{
+		{Key: "a", Run: func() Outcome { return Outcome{Dur: 1000000} }},
+		{Key: "b", Run: func() Outcome { return Outcome{Dur: 1000000} }},
+		{Key: "c", Run: func() Outcome { return Outcome{Dur: 1000000} }},
+	}
+	eng.OnResult = NewProgress(&sb, "clk", len(points), eng.Workers(len(points))).Observe
+	eng.Run(points)
+	// Mean wall is always 1.5s with one worker: [1/3] leaves 2 points
+	// (ETA 3s), [2/3] leaves 1 (1.5s rounds to 2s), [3/3] leaves none.
+	want := "clk: [1/3] a -> 1.000us (1.5s wall, ETA 3s)\n" +
+		"clk: [2/3] b -> 1.000us (1.5s wall, ETA 2s)\n" +
+		"clk: [3/3] c -> 1.000us (1.5s wall)\n"
+	if sb.String() != want {
+		t.Fatalf("progress output not deterministic:\n--- got\n%s--- want\n%s", sb.String(), want)
+	}
+}
+
 // TestEngineProgressIntegration drives Progress through a real engine
 // run: every point reports, counts reach n/n.
 func TestEngineProgressIntegration(t *testing.T) {

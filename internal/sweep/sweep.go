@@ -80,8 +80,24 @@ type Engine struct {
 	// OnResult, when non-nil, observes each completed point. Calls are
 	// serialised but arrive in completion order, not declaration order.
 	OnResult func(Result)
+	// Profile, when non-nil, records each cold point's measured wall
+	// time (EWMA keyed by fingerprint digest) — the weighted shard
+	// partitioner's input. Flush it after the run to persist.
+	Profile *Profile
+	// Clock supplies the wall-clock readings behind Result.Wall — the
+	// sole time source on the ETA path, injectable so progress output
+	// is deterministic under test. Nil means time.Now.
+	Clock func() time.Time
 
 	mu sync.Mutex
+}
+
+// now reads the engine's clock.
+func (e *Engine) now() time.Time {
+	if e.Clock != nil {
+		return e.Clock()
+	}
+	return time.Now()
 }
 
 func (e *Engine) jobs() int {
@@ -127,12 +143,16 @@ func (e *Engine) runPoint(i int, p Point) Outcome {
 			return out
 		}
 	}
-	start := time.Now()
+	start := e.now()
 	out := p.Run()
+	wall := e.now().Sub(start)
 	if e.Cache != nil && p.Fingerprint != "" {
 		e.Cache.Put(p.Fingerprint, out)
 	}
-	e.report(Result{Index: i, Key: p.Key, Outcome: out, Wall: time.Since(start)})
+	if e.Profile != nil && p.Fingerprint != "" {
+		e.Profile.Observe(p.Fingerprint, wall)
+	}
+	e.report(Result{Index: i, Key: p.Key, Outcome: out, Wall: wall})
 	return out
 }
 
