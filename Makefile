@@ -12,6 +12,10 @@
 #                   merged cache warm-hits every row
 #   make fleetsmoke - one-command fleet (2 workers) over the smoke
 #                   manifest, then verify the merged cache is warm
+#   make servesmoke - sweep-as-a-service daemon e2e: a real `accesys
+#                   serve` process on an ephemeral port, driven over
+#                   HTTP (submit -> poll -> rows, then a fully-warm
+#                   re-submit), drained with SIGTERM
 #   make fuzz     - short native-fuzz pass over the manifest and shard
 #                   plan parsers (FUZZTIME per target, default 10s)
 #   make golden   - golden-row conformance suite (all nine experiments)
@@ -22,7 +26,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke fuzz golden cover equiv ci bench figures clean
+.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke servesmoke fuzz golden cover equiv ci bench figures clean
 
 # Minimum total statement coverage (percent) make cover enforces.
 COVER_FLOOR ?= 75
@@ -92,6 +96,13 @@ fleetsmoke:
 	@echo "fleetsmoke: fleet cache served all 4 rows warm"
 	@rm -rf $(FLEETSMOKE_DIR)
 
+# Serve smoke: the daemon e2e re-execs the test binary as a real
+# `accesys serve` process and drives the submit/poll/rows lifecycle
+# over HTTP, including the warm second submission and the SIGTERM
+# drain.
+servesmoke:
+	$(GO) test -count=1 -run '^TestServeSmokeDaemon$$' ./cmd/accesys
+
 # Short native-fuzz pass: both parsers explore beyond their seed
 # corpora for FUZZTIME each. Crashers land under testdata/fuzz/ in the
 # failing package — commit them as regression seeds after fixing.
@@ -117,7 +128,7 @@ cover:
 equiv:
 	$(GO) run ./cmd/accesys equiv fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9
 
-ci: lint vet race examples smoke shardsmoke fleetsmoke fuzz golden bench cover
+ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke fuzz golden bench cover
 
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' .

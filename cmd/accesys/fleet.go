@@ -12,8 +12,6 @@ package main
 import (
 	"context"
 	"fmt"
-	"os"
-	"path/filepath"
 	"runtime"
 	"time"
 
@@ -72,66 +70,29 @@ func (a *app) cmdFleet(args []string) int {
 		return a.errorf("%v", err)
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		return a.errorf("%v", err)
-	}
-	// The output cache's profile (fed by every prior cached sweep and
-	// fleet run) drives the weighted partition; a cold profile degrades
-	// to the rendezvous plan. Degrading silently on a *corrupt* profile
-	// would disable the advertised balancing forever, so say so.
-	var prof *sweep.Profile
-	if p, err := sweep.LoadProfile(*out); err == nil {
-		prof = p
-	} else {
-		fmt.Fprintf(a.stderr, "accesys: wall profile unusable, planning unweighted: %v\n", err)
-	}
-	plan, err := shard.PartitionWeighted(sc.Name, *full, points, len(spec.Workers), prof)
-	if err != nil {
-		return a.errorf("%v", err)
-	}
-
-	workDir := *work
-	if workDir == "" {
-		workDir = filepath.Join(*out, "fleet")
-	}
-	if err := os.MkdirAll(workDir, 0o755); err != nil {
-		return a.errorf("%v", err)
-	}
-	planData, err := plan.Marshal()
-	if err != nil {
-		return a.errorf("encoding plan: %v", err)
-	}
-	planPath := filepath.Join(workDir, "plan.json")
-	if err := os.WriteFile(planPath, append(planData, '\n'), 0o644); err != nil {
-		return a.errorf("writing plan: %v", err)
-	}
-	if plan.Weighted {
-		fmt.Fprintf(a.stderr, "fleet: plan weighted by %d profiled points (predicted makespan %.1fs)\n",
-			plan.Profiled, maxWallSeconds(plan.PredictedWallNs))
-	}
-
-	// One locked stream carries the scheduler's and every worker's
-	// output: workers write from their own goroutines.
-	stream := fleet.NewSyncWriter(a.stderr)
-	execs, err := spec.Executors(fleet.ExecutorDeps{Plan: plan, Points: points, Out: stream})
-	if err != nil {
-		return a.errorf("%v", err)
-	}
-	sched := &fleet.Scheduler{
-		Plan:        plan,
-		Manifest:    manifest,
-		PlanPath:    planPath,
-		Workers:     execs,
-		WorkDir:     workDir,
-		OutDir:      *out,
+	start := time.Now()
+	rep, plan, err := fleet.Launch(context.Background(), fleet.LaunchOptions{
+		Name:        sc.Name,
 		Full:        *full,
+		Points:      points,
+		Manifest:    manifest,
+		Spec:        spec,
+		OutDir:      *out,
+		WorkDir:     *work,
 		Jobs:        *jobs,
 		Verbose:     *verbose,
-		Out:         stream,
+		Out:         a.stderr,
 		MaxAttempts: *attempts,
-	}
-	start := time.Now()
-	rep, err := sched.Run(context.Background())
+		OnPlan: func(p *shard.Plan) {
+			if p.Weighted {
+				fmt.Fprintf(a.stderr, "fleet: plan weighted by %d profiled points (predicted makespan %.1fs)\n",
+					p.Profiled, maxWallSeconds(p.PredictedWallNs))
+			}
+		},
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(a.stderr, "accesys: "+format+"\n", args...)
+		},
+	})
 	if err != nil {
 		return a.errorf("%v", err)
 	}
@@ -155,7 +116,7 @@ func (a *app) cmdFleet(args []string) int {
 		reassigned = fmt.Sprintf("; %d reassignments, %d workers retired", rep.Reassigned, rep.Retired)
 	}
 	fmt.Fprintf(a.stdout, "fleet %s: %d shards over %d workers in %.1fs -> %s (%d entries imported, %d duplicates; %d hits, %d misses)%s\n",
-		sc.Name, plan.Shards, len(execs), time.Since(start).Seconds(), *out,
+		sc.Name, plan.Shards, len(spec.Workers), time.Since(start).Seconds(), *out,
 		m.Imported, m.Duplicates, m.Counters.Hits, m.Counters.Misses, reassigned)
 	return exitOK
 }

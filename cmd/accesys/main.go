@@ -10,6 +10,7 @@
 //	accesys shard run [-full] [-v] [-jobs N] [-plan FILE] -shard k/N -dir DIR manifest.json
 //	accesys shard merge -out DIR sharddir ...
 //	accesys fleet [-full] [-v] [-jobs N] [-workers N | -fleet spec.json] [-out DIR] [-work DIR] manifest.json
+//	accesys serve [-addr host:port] [-cache dir] [-jobs N] [-concurrency N] [-queue N] [-quota N] [-fleet spec.json] [-gcinterval d] [-v]
 //	accesys cachestats [-cache dir] [-gc] [-maxage d] [-maxentries n]
 //	accesys list
 //
@@ -63,6 +64,15 @@
 // completed points are served warm to its successor, because shard
 // cache directories survive attempts), and merges everything into the
 // output cache.
+//
+// serve runs the sweep-as-a-service daemon: an HTTP/JSON API that
+// accepts manifest submissions (POST /sweeps, async — 202 + job id),
+// serves status polls, rendered rows (json/csv/text), and a streaming
+// ndjson progress feed, all against one shared warm cache. Concurrent
+// jobs submitting overlapping manifests coalesce on in-flight points,
+// so the overlap is simulated exactly once; a full queue answers 503
+// and an over-quota client 429, both with Retry-After. See README.md
+// "Sweep as a service" for the API schema.
 //
 // cachestats reports the result cache's on-disk footprint (entries,
 // bytes) and cumulative hit/miss/error counters, and with -gc evicts
@@ -448,12 +458,14 @@ func (a *app) main(args []string) int {
 			return a.cmdShard(args[1:])
 		case "fleet":
 			return a.cmdFleet(args[1:])
+		case "serve":
+			return a.cmdServe(args[1:])
 		case "cachestats":
 			return a.cmdCachestats(args[1:])
 		case "list":
 			return a.cmdList(args[1:])
 		case "help", "-h", "-help", "--help":
-			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|shard|fleet|cachestats|list] ...\n")
+			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|shard|fleet|serve|cachestats|list] ...\n")
 			fmt.Fprintf(a.stderr, "run 'accesys <command> -h' for command flags; a bare flag list runs `run`\n")
 			return usageErr
 		}

@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accesys/internal/shard"
+	"accesys/internal/sim"
+	"accesys/internal/sweep"
+)
+
+func TestLaunchPlansRunsAndMerges(t *testing.T) {
+	pts := fakePoints(8)
+	root := t.TempDir()
+	out := filepath.Join(root, "merged")
+	var planned *shard.Plan
+	var log strings.Builder
+	rep, plan, err := Launch(context.Background(), LaunchOptions{
+		Name:    "launchfake",
+		Points:  pts,
+		Spec:    LocalSpec(2),
+		OutDir:  out,
+		WorkDir: filepath.Join(root, "work"),
+		Out:     &log,
+		OnPlan:  func(p *shard.Plan) { planned = p },
+	})
+	if err != nil {
+		t.Fatalf("launch failed: %v\nlog:\n%s", err, log.String())
+	}
+	if plan == nil || plan.Shards != 2 || planned != plan {
+		t.Fatalf("plan = %+v (OnPlan saw %p)", plan, planned)
+	}
+	if rep.Merge == nil || rep.Merge.Imported != 8 {
+		t.Fatalf("merge stats = %+v, want 8 imported", rep.Merge)
+	}
+	// The plan landed on disk where subprocess workers would load it.
+	if _, err := os.Stat(filepath.Join(root, "work", "plan.json")); err != nil {
+		t.Fatalf("plan.json missing: %v", err)
+	}
+	cache, err := sweep.OpenSalted(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if o, ok := cache.Get(p.Fingerprint); !ok || o.Dur != sim.Tick(i+1) {
+			t.Fatalf("merged Get(%s) = %v, %v", p.Key, o, ok)
+		}
+	}
+}
+
+func TestLaunchDefaultsWorkDirAndRequiresSpec(t *testing.T) {
+	if _, _, err := Launch(context.Background(), LaunchOptions{OutDir: t.TempDir()}); err == nil {
+		t.Fatal("launch without a spec succeeded")
+	}
+	out := filepath.Join(t.TempDir(), "merged")
+	_, _, err := Launch(context.Background(), LaunchOptions{
+		Name:   "launchfake",
+		Points: fakePoints(3),
+		Spec:   LocalSpec(1),
+		OutDir: out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "fleet", "plan.json")); err != nil {
+		t.Fatalf("default work dir not provisioned under OutDir: %v", err)
+	}
+}

@@ -513,6 +513,16 @@ type Options struct {
 	// the weighted shard partitioner's scheduling input. Flush it after
 	// the run to persist.
 	Profile *sweep.Profile
+	// Flight, when non-nil, coalesces concurrent executions of
+	// identical points across every sweep sharing it — how the serve
+	// daemon keeps overlapping jobs from racing the same cold
+	// simulations.
+	Flight *sweep.Flight
+	// OnResult, when non-nil, observes every completed point (cold,
+	// cached, or shared) in completion order — the serve daemon's
+	// per-job progress counters. It composes with, and runs after, the
+	// verbose progress printer.
+	OnResult func(sweep.Result)
 }
 
 // Logf writes a progress line when verbose output is enabled.
@@ -527,9 +537,19 @@ func (o Options) Logf(format string, args ...any) {
 // when the options ask for it, and returns outcomes in declaration
 // order.
 func (o Options) Sweep(label string, points []sweep.Point) []sweep.Outcome {
-	eng := &sweep.Engine{Jobs: o.Jobs, Cache: o.Cache, Profile: o.Profile}
+	eng := &sweep.Engine{Jobs: o.Jobs, Cache: o.Cache, Profile: o.Profile, Flight: o.Flight}
+	var observers []func(sweep.Result)
 	if o.Verbose && o.Out != nil {
-		eng.OnResult = sweep.NewProgress(o.Out, label, len(points), eng.Workers(len(points))).Observe
+		observers = append(observers, sweep.NewProgress(o.Out, label, len(points), eng.Workers(len(points))).Observe)
+	}
+	if o.OnResult != nil {
+		observers = append(observers, o.OnResult)
+	}
+	switch len(observers) {
+	case 1:
+		eng.OnResult = observers[0]
+	case 2:
+		eng.OnResult = func(r sweep.Result) { observers[0](r); observers[1](r) }
 	}
 	return eng.Run(points)
 }

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"accesys/internal/core"
+	"accesys/internal/sweep"
 )
 
 // TestBuiltinsExpand pins every registered scenario's matrix size in
@@ -284,6 +286,42 @@ func TestFlatRenderWithMetrics(t *testing.T) {
 	}
 	if res.Rows[0][0] != "flat-mmu" || res.Rows[1][0] != "flat-nommu" {
 		t.Fatalf("row keys wrong: %v vs %v", res.Rows[0][0], res.Rows[1][0])
+	}
+}
+
+// TestOptionsObserverComposition pins the serve daemon's hooks: an
+// OnResult observer sees every completed point alongside the verbose
+// progress printer, and a shared Flight passes through to the engine.
+func TestOptionsObserverComposition(t *testing.T) {
+	sc := &Scenario{
+		Name:     "observe",
+		Title:    "observe",
+		Base:     "pcie8gb",
+		Workload: Workload{Kind: "gemm", N: Size{Quick: 64, Full: 64}},
+		Axes:     []Axis{{Name: "packet_bytes", Values: vals(128, 256)}},
+	}
+	var mu sync.Mutex
+	var seen []string
+	var progress bytes.Buffer
+	_, err := sc.Run(Options{
+		Jobs:    2,
+		Verbose: true,
+		Out:     &progress,
+		Flight:  &sweep.Flight{},
+		OnResult: func(r sweep.Result) {
+			mu.Lock()
+			seen = append(seen, r.Key)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d results, want 2: %v", len(seen), seen)
+	}
+	if got := strings.Count(progress.String(), "observe:"); got != 2 {
+		t.Fatalf("progress printer wrote %d lines alongside the observer, want 2:\n%s", got, progress.String())
 	}
 }
 

@@ -1,0 +1,495 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"accesys/internal/fleet"
+	"accesys/internal/sweep"
+)
+
+// miniManifest is a two-point GEMM matrix that simulates in
+// milliseconds.
+const miniManifest = `{
+  "name": "mini",
+  "title": "mini sweep",
+  "base": "pcie8gb",
+  "workload": {"kind": "gemm", "n": 64},
+  "axes": [{"axis": "lanes", "values": [4, 8]}]
+}`
+
+// overlapManifest shares both of miniManifest's points (same scenario
+// name, same axes prefix) and adds a third.
+const overlapManifest = `{
+  "name": "mini",
+  "title": "mini sweep",
+  "base": "pcie8gb",
+  "workload": {"kind": "gemm", "n": 64},
+  "axes": [{"axis": "lanes", "values": [4, 8, 16]}]
+}`
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Cache: cache, Jobs: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func submitManifest(t *testing.T, ts *httptest.Server, manifest, client string) (int, map[string]any, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/sweeps", strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client != "" {
+		req.Header.Set("X-Accesys-Client", client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := getJSON(t, ts.URL+"/sweeps/"+id, &st); code != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, code)
+		}
+		if st.terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobStatus{}
+}
+
+func TestSubmitPollRowsLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	code, body, _ := submitManifest(t, ts, miniManifest, "alice")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", code, body)
+	}
+	id := body["id"].(string)
+	if body["total"].(float64) != 2 {
+		t.Fatalf("total = %v, want 2", body["total"])
+	}
+
+	st := waitDone(t, ts, id)
+	if st.State != stateDone || st.Completed != 2 || st.Cold != 2 {
+		t.Fatalf("final status %+v, want done with 2 cold points", st)
+	}
+	if st.Client != "alice" || st.Scenario != "mini" {
+		t.Fatalf("identity fields wrong: %+v", st)
+	}
+	if st.SubmittedAt == "" || st.StartedAt == "" || st.FinishedAt == "" {
+		t.Fatalf("missing timestamps: %+v", st)
+	}
+
+	var rows rowsPayload
+	if code := getJSON(t, ts.URL+"/sweeps/"+id+"/rows", &rows); code != http.StatusOK {
+		t.Fatalf("rows status %d", code)
+	}
+	if rows.ID != "mini" || len(rows.Rows) != 2 {
+		t.Fatalf("rows payload %+v", rows)
+	}
+
+	// CSV and text renderings of the same result.
+	for format, want := range map[string]string{"csv": "point,exec", "text": "== mini: mini sweep =="} {
+		resp, err := http.Get(ts.URL + "/sweeps/" + id + "/rows?format=" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 4096)
+		n, _ := resp.Body.Read(data)
+		resp.Body.Close()
+		if !strings.Contains(string(data[:n]), want) {
+			t.Fatalf("%s format missing %q:\n%s", format, want, data[:n])
+		}
+	}
+
+	// A second identical submission serves entirely warm.
+	_, body2, _ := submitManifest(t, ts, miniManifest, "alice")
+	st2 := waitDone(t, ts, body2["id"].(string))
+	if st2.Warm != 2 || st2.Cold != 0 {
+		t.Fatalf("repeat submission not warm: %+v", st2)
+	}
+
+	var listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/sweeps", &listing); code != http.StatusOK || len(listing.Jobs) != 2 {
+		t.Fatalf("listing = %d jobs (status %d), want 2", len(listing.Jobs), code)
+	}
+	if listing.Jobs[0].ID != id {
+		t.Fatalf("listing not in submission order: %+v", listing.Jobs)
+	}
+}
+
+func TestSubmitRejectsBadManifests(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for name, manifest := range map[string]string{
+		"not json":     "{nope",
+		"unknown axis": `{"name": "x", "workload": {"kind": "gemm", "n": 64}, "axes": [{"axis": "nope", "values": [1]}]}`,
+	} {
+		if code, body, _ := submitManifest(t, ts, manifest, ""); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, body %v", name, code, body)
+		}
+	}
+	var errBody map[string]string
+	if code := getJSON(t, ts.URL+"/sweeps/nosuch", &errBody); code != http.StatusNotFound {
+		t.Fatalf("unknown job poll status %d", code)
+	}
+}
+
+func TestBackpressureAndQuota(t *testing.T) {
+	release := make(chan struct{})
+	releaseAll := sync.OnceFunc(func() { close(release) })
+	running := make(chan string, 8)
+	testHookRunning = func(j *job) {
+		running <- j.id
+		<-release
+	}
+	defer func() { testHookRunning = nil }()
+
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Concurrency = 1
+		c.QueueLimit = 1
+		c.ClientQuota = 1
+	})
+	// Unpark every held job before the server's Close cleanup waits on
+	// the runners — keeps an assertion failure from deadlocking the run.
+	t.Cleanup(releaseAll)
+
+	// Job 1 occupies the sole runner; job 2 fills the queue.
+	code, b1, _ := submitManifest(t, ts, miniManifest, "alice")
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d %v", code, b1)
+	}
+	<-running
+	code, b2, _ := submitManifest(t, ts, miniManifest, "bob")
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit: %d %v", code, b2)
+	}
+
+	// Alice has one unfinished job and quota 1: rejected before the
+	// queue is even consulted.
+	code, _, hdr := submitManifest(t, ts, miniManifest, "alice")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+
+	// A fresh client is under quota but the queue is full: back-pressure.
+	code, _, hdr = submitManifest(t, ts, miniManifest, "carol")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full submit: status %d, want 503", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+
+	// Release job 1: alice's quota frees and job 2 starts, draining the
+	// queue, so alice can queue a new job.
+	release <- struct{}{}
+	<-running // job 2 now running and parked
+	code, b3, _ := submitManifest(t, ts, miniManifest, "alice")
+	if code != http.StatusAccepted {
+		t.Fatalf("alice second job: %d %v", code, b3)
+	}
+
+	// Stats reflect the live queue: job 3 waiting behind the parked job 2.
+	var stats struct {
+		Queue map[string]int `json:"queue"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Queue["limit"] != 1 || stats.Queue["depth"] != 1 {
+		t.Fatalf("queue stats %v, want depth 1 of limit 1", stats.Queue)
+	}
+
+	// Unpark everything; every accepted job completes.
+	releaseAll()
+	for _, b := range []map[string]any{b1, b2, b3} {
+		if st := waitDone(t, ts, b["id"].(string)); st.State != stateDone {
+			t.Fatalf("job %v finished %s: %s", b["id"], st.State, st.Error)
+		}
+	}
+}
+
+// TestConcurrentOverlapDedup submits two overlapping manifests that
+// run concurrently and asserts the overlap is simulated exactly once:
+// cold counts across both jobs sum to the number of unique points.
+func TestConcurrentOverlapDedup(t *testing.T) {
+	start := make(chan struct{})
+	arrived := make(chan struct{}, 2)
+	testHookRunning = func(j *job) {
+		// Park both jobs at the starting line so their sweeps overlap.
+		arrived <- struct{}{}
+		<-start
+	}
+	defer func() { testHookRunning = nil }()
+
+	_, ts := newTestServer(t, func(c *Config) { c.Concurrency = 2; c.Jobs = 2 })
+	_, b1, _ := submitManifest(t, ts, miniManifest, "alice")
+	_, b2, _ := submitManifest(t, ts, overlapManifest, "bob")
+	<-arrived
+	<-arrived
+	close(start)
+
+	st1 := waitDone(t, ts, b1["id"].(string))
+	st2 := waitDone(t, ts, b2["id"].(string))
+	if st1.State != stateDone || st2.State != stateDone {
+		t.Fatalf("jobs failed: %+v / %+v", st1, st2)
+	}
+	const unique = 3 // lanes 4 and 8 shared, 16 only in the superset
+	cold := st1.Cold + st2.Cold
+	if cold != unique {
+		t.Fatalf("cold simulations = %d (%d+%d), want %d: overlap was not deduplicated",
+			cold, st1.Cold, st2.Cold, unique)
+	}
+	if st1.Completed != 2 || st2.Completed != 3 {
+		t.Fatalf("completion counts %d/%d, want 2/3", st1.Completed, st2.Completed)
+	}
+	// Every completion is accounted cold, warm, or shared.
+	for _, st := range []JobStatus{st1, st2} {
+		if st.Cold+st.Warm+st.Shared != st.Completed {
+			t.Fatalf("counter partition broken: %+v", st)
+		}
+	}
+}
+
+func TestEventsStreamEndsAtTerminal(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	_, body, _ := submitManifest(t, ts, miniManifest, "")
+	id := body["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/sweeps/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var last JobStatus
+	lines := 0
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		lines++
+		if err := json.Unmarshal(scanner.Bytes(), &last); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("event stream produced no snapshots")
+	}
+	if !last.terminal() || last.Completed != 2 {
+		t.Fatalf("stream ended before the terminal snapshot: %+v", last)
+	}
+}
+
+func TestCloseFailsQueuedJobsAndRejectsSubmissions(t *testing.T) {
+	release := make(chan struct{})
+	releaseAll := sync.OnceFunc(func() { close(release) })
+	t.Cleanup(releaseAll)
+	var parked sync.WaitGroup
+	parked.Add(1)
+	testHookRunning = func(j *job) { parked.Done(); <-release }
+	defer func() { testHookRunning = nil }()
+
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Cache: cache, Concurrency: 1, QueueLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, running, _ := submitManifest(t, ts, miniManifest, "")
+	parked.Wait()
+	_, queued, _ := submitManifest(t, ts, miniManifest, "")
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Close waits on the running job; let it finish.
+	time.Sleep(20 * time.Millisecond)
+	releaseAll()
+	if err := <-closed; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	if st := waitDone(t, ts, running["id"].(string)); st.State != stateDone {
+		t.Fatalf("running job at close finished %s: %s", st.State, st.Error)
+	}
+	st := waitDone(t, ts, queued["id"].(string))
+	if st.State != stateFailed || !strings.Contains(st.Error, "shut down") {
+		t.Fatalf("queued job at close: %+v, want failed with shutdown error", st)
+	}
+
+	if code, body, _ := submitManifest(t, ts, miniManifest, ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close submit: %d %v", code, body)
+	}
+}
+
+func TestPanickingJobFailsWithoutKillingServer(t *testing.T) {
+	// A packet size past the DMA page size panics inside the simulator.
+	// The manifest expands fine, so the submission is accepted; the
+	// runner must contain the panic as a failed job and keep serving.
+	const panicManifest = `{
+  "name": "boom",
+  "title": "panic sweep",
+  "base": "pcie8gb",
+  "workload": {"kind": "gemm", "n": 64},
+  "axes": [{"axis": "packet_bytes", "values": [8192]}]
+}`
+	_, ts := newTestServer(t, nil)
+	code, body, _ := submitManifest(t, ts, panicManifest, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("panic submit: %d %v", code, body)
+	}
+	st := waitDone(t, ts, body["id"].(string))
+	if st.State != stateFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("panicking job = %+v, want failed with a panic error", st)
+	}
+	// The daemon survived: a healthy job still runs to completion.
+	code, body, _ = submitManifest(t, ts, miniManifest, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("follow-up submit: %d %v", code, body)
+	}
+	if st := waitDone(t, ts, body["id"].(string)); st.State != stateDone {
+		t.Fatalf("follow-up job after a panic = %+v, want done", st)
+	}
+}
+
+func TestStatsCountCacheAndDedup(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	_, body, _ := submitManifest(t, ts, miniManifest, "")
+	waitDone(t, ts, body["id"].(string))
+	var stats struct {
+		Cache map[string]int `json:"cache"`
+		Dedup map[string]int `json:"dedup"`
+		Jobs  map[string]int `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Cache["misses"] != 2 {
+		t.Fatalf("cache stats %v, want 2 misses", stats.Cache)
+	}
+	if stats.Dedup["inflight"] != 0 {
+		t.Fatalf("dedup inflight %d after idle", stats.Dedup["inflight"])
+	}
+	if stats.Jobs[stateDone] != 1 {
+		t.Fatalf("job counts %v", stats.Jobs)
+	}
+	_ = s
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, health)
+	}
+}
+
+func TestRowsBeforeDoneConflicts(t *testing.T) {
+	release := make(chan struct{})
+	releaseAll := sync.OnceFunc(func() { close(release) })
+	var parked sync.WaitGroup
+	parked.Add(1)
+	testHookRunning = func(j *job) { parked.Done(); <-release }
+	defer func() { testHookRunning = nil }()
+
+	_, ts := newTestServer(t, func(c *Config) { c.Concurrency = 1 })
+	t.Cleanup(releaseAll)
+	_, body, _ := submitManifest(t, ts, miniManifest, "")
+	parked.Wait()
+	id := body["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/sweeps/" + id + "/rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("rows while running: %d, want 409", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("unfinished rows response missing Retry-After")
+	}
+	releaseAll()
+	waitDone(t, ts, id)
+}
+
+func TestServeFleetExecutor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-backed serve is not short")
+	}
+	_, ts := newTestServer(t, func(c *Config) {
+		c.FleetSpec = fleet.LocalSpec(2)
+	})
+	_, body, _ := submitManifest(t, ts, miniManifest, "")
+	st := waitDone(t, ts, body["id"].(string))
+	if st.State != stateDone {
+		t.Fatalf("fleet job failed: %s", st.Error)
+	}
+	if st.Cold != 2 {
+		t.Fatalf("fleet job cold = %d, want 2", st.Cold)
+	}
+	var rows rowsPayload
+	if code := getJSON(t, ts.URL+"/sweeps/"+st.ID+"/rows", &rows); code != http.StatusOK {
+		t.Fatalf("rows status %d", code)
+	}
+	if len(rows.Rows) != 2 {
+		t.Fatalf("fleet rows %+v", rows)
+	}
+}

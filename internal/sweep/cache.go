@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Cache is the on-disk result store. Entries are JSON files named by
@@ -23,6 +24,11 @@ type Cache struct {
 	// from a different simulator build read as misses. Set it before
 	// first use — BinaryFingerprint gives a ready-made value.
 	Salt string
+
+	// Clock supplies the wall-clock readings GC ages entries against,
+	// injectable so a daemon's periodic GC is testable without sleeps or
+	// mtime rewriting. Nil means time.Now.
+	Clock func() time.Time
 
 	mu     sync.Mutex
 	hits   int
@@ -69,6 +75,14 @@ func OpenSalted(dir string) (*Cache, error) {
 
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
+
+// now reads the cache's clock.
+func (c *Cache) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
 
 // key is the salted fingerprint entries are stored and compared
 // under; with a build-derived Salt, entries written by a different

@@ -67,16 +67,17 @@ const gcTempAge = time.Hour
 
 // GC evicts entries last touched more than maxAge ago (0 = no age
 // bound), then the oldest entries beyond maxEntries (0 = no count
-// bound), and removes abandoned staging temps. Eviction is safe
-// against concurrent readers and writers: a removed entry simply
-// reads as a miss and is re-simulated.
+// bound), and removes abandoned staging temps. Ages are measured
+// against the cache's Clock. Eviction is safe against concurrent
+// readers and writers: a removed entry simply reads as a miss and is
+// re-simulated.
 func (c *Cache) GC(maxAge time.Duration, maxEntries int) (GCResult, error) {
 	var res GCResult
 	des, err := os.ReadDir(c.dir)
 	if err != nil {
 		return res, err
 	}
-	now := time.Now()
+	now := c.now()
 
 	type entryInfo struct {
 		path string

@@ -1,10 +1,14 @@
 package sweep
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
+
+	"accesys/internal/sim"
 )
 
 func fillCache(t *testing.T, c *Cache, n int) {
@@ -74,17 +78,30 @@ func TestGCByCountEvictsOldest(t *testing.T) {
 	}
 }
 
+// gcBase is the fixed epoch the fake-clock GC tests pin entry mtimes
+// and the cache Clock against, so ages are exact and independent of
+// when the test runs.
+var gcBase = time.Unix(1_700_000_000, 0)
+
 func TestGCByAge(t *testing.T) {
 	c, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	fillCache(t, c, 3)
-	old := time.Now().Add(-48 * time.Hour)
-	path := c.path(c.key(Fingerprint("gc", 0)))
-	if err := os.Chtimes(path, old, old); err != nil {
-		t.Fatal(err)
+	// Pin every entry's mtime and read "now" off the fake clock: entry
+	// 0 is 49h old, the others 13h — only 0 crosses the 24h bound.
+	for i := 0; i < 3; i++ {
+		mod := gcBase.Add(36 * time.Hour)
+		if i == 0 {
+			mod = gcBase
+		}
+		path := c.path(c.key(Fingerprint("gc", i)))
+		if err := os.Chtimes(path, mod, mod); err != nil {
+			t.Fatal(err)
+		}
 	}
+	c.Clock = func() time.Time { return gcBase.Add(49 * time.Hour) }
 	res, err := c.GC(24*time.Hour, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +112,9 @@ func TestGCByAge(t *testing.T) {
 	if entries, _, _ := c.Usage(); entries != 2 {
 		t.Fatalf("entries = %d, want 2", entries)
 	}
+	if _, ok := c.Get(Fingerprint("gc", 0)); ok {
+		t.Fatal("49h-old entry should be evicted")
+	}
 }
 
 func TestGCRemovesStaleTemps(t *testing.T) {
@@ -104,15 +124,18 @@ func TestGCRemovesStaleTemps(t *testing.T) {
 	}
 	stale := filepath.Join(c.Dir(), "put-stale.tmp")
 	fresh := filepath.Join(c.Dir(), "put-fresh.tmp")
-	for _, p := range []string{stale, fresh} {
+	for p, mod := range map[string]time.Time{
+		stale: gcBase,                // age gcTempAge+1m: abandoned
+		fresh: gcBase.Add(gcTempAge), // age 1m: maybe a live writer
+	} {
 		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
 			t.Fatal(err)
 		}
+		if err := os.Chtimes(p, mod, mod); err != nil {
+			t.Fatal(err)
+		}
 	}
-	old := time.Now().Add(-2 * gcTempAge)
-	if err := os.Chtimes(stale, old, old); err != nil {
-		t.Fatal(err)
-	}
+	c.Clock = func() time.Time { return gcBase.Add(gcTempAge + time.Minute) }
 	res, err := c.GC(0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -122,6 +145,63 @@ func TestGCRemovesStaleTemps(t *testing.T) {
 	}
 	if _, err := os.Stat(fresh); err != nil {
 		t.Fatal("fresh temp (possibly a live writer's) must survive")
+	}
+}
+
+// TestGCRacesWarmSweep hammers GC against engines reading and writing
+// the same cache — the serve daemon's steady state. A nanosecond max
+// age makes every landed entry instantly stale, so eviction races
+// every Get window (the real clock stays: skewing it forward would
+// also age in-flight put temps past gcTempAge, a reap no live
+// deployment sees). Evicted entries must read as misses and
+// re-simulate; nothing may surface as an error or a wrong outcome.
+func TestGCRacesWarmSweep(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	points := make([]Point, 8)
+	for i := range points {
+		i := i
+		points[i] = Point{
+			Key:         fmt.Sprintf("p%d", i),
+			Fingerprint: Fingerprint("gc-race", i),
+			Run:         func() Outcome { return Outcome{Dur: sim.Tick(100 + i)} },
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := cache.GC(time.Nanosecond, 2); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	eng := &Engine{Jobs: 4, Cache: cache}
+	for round := 0; round < 10; round++ {
+		for i, out := range eng.Run(points) {
+			if out.Dur != sim.Tick(100+i) {
+				t.Fatalf("round %d point %d outcome = %v", round, i, out.Dur)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if _, _, errors := cache.Stats(); errors != 0 {
+		t.Fatalf("eviction races produced %d cache errors; evicted entries must read as plain misses", errors)
 	}
 }
 

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package sweep
+
+import "sync"
+
+// fallbackLocks serialises lockFile holders within this process on
+// platforms without flock. Cross-process flushes on such platforms keep
+// the pre-lock behaviour: a racing writer can lose an update, which
+// costs schedule quality, never correctness.
+var fallbackLocks sync.Map // path -> *sync.Mutex
+
+func lockFile(path string) (func(), error) {
+	mu, _ := fallbackLocks.LoadOrStore(path, &sync.Mutex{})
+	m := mu.(*sync.Mutex)
+	m.Lock()
+	return m.Unlock, nil
+}

@@ -51,8 +51,9 @@ const profileAlpha = 0.5
 // Profile is an in-memory view of a directory's persisted wall-time
 // estimates plus this process's observations. It is safe for
 // concurrent use by engine workers. Walls are advisory scheduling
-// hints: a racing writer in another process can lose an update, which
-// costs schedule quality, never correctness.
+// hints: flushes of disjoint points serialise through a lock file and
+// all land, while concurrent flushes of the *same* point may lose an
+// EWMA step — which costs schedule quality, never correctness.
 type Profile struct {
 	dir string
 
@@ -148,18 +149,37 @@ func (p *Profile) Fold(src *Profile) {
 	}
 }
 
-// Flush persists the profile: the file is re-read and this process's
-// updated estimates are overlaid, so two processes profiling disjoint
-// points through one directory both land (concurrent updates to the
-// same point may lose one EWMA step — acceptable for a scheduling
-// hint). The write is staged and renamed, so readers never see a
-// half-written profile.
+// lockName guards Flush's read-overlay-rename cycle inside a cache
+// directory. Like ProfileName it fails the cache's entry-name check,
+// so GC and import ignore it.
+const lockName = ProfileName + ".lock"
+
+// Flush persists the profile: under an exclusive lock on the
+// directory's profile lock file, the persisted file is re-read and
+// this process's updated estimates are overlaid, so concurrent
+// flushers — goroutines or processes — profiling disjoint points
+// through one directory all land. Concurrent updates to the *same*
+// point still last-write-win one EWMA step, which is acceptable for a
+// scheduling hint. The write is staged and renamed, so readers never
+// see a half-written profile.
 func (p *Profile) Flush() error {
 	p.mu.Lock()
 	if len(p.updated) == 0 {
 		p.mu.Unlock()
 		return nil
 	}
+	updated := make(map[string]int64, len(p.updated))
+	for d := range p.updated {
+		updated[d] = p.walls[d]
+	}
+	p.mu.Unlock()
+
+	unlock, err := lockFile(filepath.Join(p.dir, lockName))
+	if err != nil {
+		return err
+	}
+	defer unlock()
+
 	out := profileFile{WallsNs: map[string]int64{}}
 	data, err := os.ReadFile(filepath.Join(p.dir, ProfileName))
 	if err == nil {
@@ -172,10 +192,9 @@ func (p *Profile) Flush() error {
 			}
 		}
 	}
-	for d := range p.updated {
-		out.WallsNs[d] = p.walls[d]
+	for d, ns := range updated {
+		out.WallsNs[d] = ns
 	}
-	p.mu.Unlock()
 
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -81,6 +83,52 @@ func TestProfileFlushOverlaysDoesNotClobber(t *testing.T) {
 	}
 	if w, ok := got.Wall("fp-b"); !ok || w != 2*time.Second {
 		t.Fatalf("fp-b missing: %v, %v", w, ok)
+	}
+}
+
+// TestProfileFlushConcurrentDisjointWriters pins the Flush
+// serialization fix: two flushers racing read-overlay-rename cycles on
+// one directory, each persisting a digest the other never observes.
+// Every round reloads a fresh Profile so a dropped update is gone for
+// good — the unlocked implementation reliably loses some.
+func TestProfileFlushConcurrentDisjointWriters(t *testing.T) {
+	dir := t.TempDir()
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p, err := LoadProfile(dir)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Observe(fmt.Sprintf("fp-w%d-%d", w, i), time.Duration(i+1)*time.Millisecond)
+				if err := p.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got, err := LoadProfile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2*rounds {
+		t.Fatalf("profile holds %d entries, want %d (concurrent flush dropped updates)", got.Len(), 2*rounds)
+	}
+	for w := 0; w < 2; w++ {
+		for i := 0; i < rounds; i++ {
+			fp := fmt.Sprintf("fp-w%d-%d", w, i)
+			if wall, ok := got.Wall(fp); !ok || wall != time.Duration(i+1)*time.Millisecond {
+				t.Fatalf("%s = %v, %v; want %v", fp, wall, ok, time.Duration(i+1)*time.Millisecond)
+			}
+		}
 	}
 }
 

@@ -44,7 +44,13 @@ func (p *Progress) Observe(r Result) {
 	defer p.mu.Unlock()
 	p.done++
 	detail := " (cached)"
-	if !r.Cached {
+	switch {
+	case r.Cached:
+	case r.Shared:
+		// Adopted from a concurrent execution: advances the count like
+		// a cache hit, and like one must not skew the wall estimate.
+		detail = " (shared)"
+	default:
 		p.measured++
 		p.wall += r.Wall
 		detail = fmt.Sprintf(" (%.1fs wall%s)", r.Wall.Seconds(), p.etaNote())

@@ -66,7 +66,12 @@ type Result struct {
 	Outcome Outcome
 	// Cached reports whether the outcome came from the result cache.
 	Cached bool
-	// Wall is the host-side execution time (zero for cache hits).
+	// Shared reports that the outcome was adopted from a concurrent
+	// execution of the same point (in-flight dedup) rather than run or
+	// read from the cache here.
+	Shared bool
+	// Wall is the host-side execution time (zero for cache hits and
+	// shared outcomes).
 	Wall time.Duration
 }
 
@@ -84,6 +89,13 @@ type Engine struct {
 	// time (EWMA keyed by fingerprint digest) — the weighted shard
 	// partitioner's input. Flush it after the run to persist.
 	Profile *Profile
+	// Flight, when non-nil, coalesces concurrent executions of
+	// identical points (keyed by fingerprint digest) across every
+	// engine sharing it: one engine simulates, the others adopt the
+	// outcome and report it with Result.Shared set. Cache lookups move
+	// inside the flight, so for deduplicated points hits+misses count
+	// leaders only.
+	Flight *Flight
 	// Clock supplies the wall-clock readings behind Result.Wall — the
 	// sole time source on the ETA path, injectable so progress output
 	// is deterministic under test. Nil means time.Now.
@@ -129,18 +141,43 @@ func (e *Engine) report(r Result) {
 	e.OnResult(r)
 }
 
-// runPoint executes (or recalls) one point, wrapping any panic with
-// the point's key so both execution paths report failures uniformly.
+// runPoint executes (or recalls, or adopts) one point, wrapping any
+// panic with the point's key so every execution path reports failures
+// uniformly.
 func (e *Engine) runPoint(i int, p Point) Outcome {
 	defer func() {
 		if r := recover(); r != nil {
 			panic(fmt.Sprintf("sweep: point %q panicked: %v", p.Key, r))
 		}
 	}()
+	if e.Flight == nil || p.Fingerprint == "" {
+		res := e.execute(i, p)
+		e.report(res)
+		return res.Outcome
+	}
+	// Dedup path: the whole lookup-or-simulate cycle runs inside the
+	// flight, so a concurrent engine that misses on the same point
+	// waits for this one instead of simulating it again — and a leader
+	// that starts just after a previous flight for the key landed
+	// still sees that result as an ordinary cache hit.
+	var res Result
+	out, led := e.Flight.Do(Digest(p.Fingerprint), func() Outcome {
+		res = e.execute(i, p)
+		return res.Outcome
+	})
+	if !led {
+		res = Result{Index: i, Key: p.Key, Outcome: out, Shared: true}
+	}
+	e.report(res)
+	return out
+}
+
+// execute runs or recalls one point without reporting — runPoint picks
+// the Result it publishes.
+func (e *Engine) execute(i int, p Point) Result {
 	if e.Cache != nil && p.Fingerprint != "" {
 		if out, ok := e.Cache.Get(p.Fingerprint); ok {
-			e.report(Result{Index: i, Key: p.Key, Outcome: out, Cached: true})
-			return out
+			return Result{Index: i, Key: p.Key, Outcome: out, Cached: true}
 		}
 	}
 	start := e.now()
@@ -152,8 +189,7 @@ func (e *Engine) runPoint(i int, p Point) Outcome {
 	if e.Profile != nil && p.Fingerprint != "" {
 		e.Profile.Observe(p.Fingerprint, wall)
 	}
-	e.report(Result{Index: i, Key: p.Key, Outcome: out, Wall: wall})
-	return out
+	return Result{Index: i, Key: p.Key, Outcome: out, Wall: wall}
 }
 
 // Run executes every point and returns their outcomes in declaration
