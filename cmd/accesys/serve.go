@@ -29,13 +29,14 @@ func (a *app) cmdServe(args []string) int {
 	concurrency := fs.Int("concurrency", 0, "jobs running at once (0 = serve default)")
 	queue := fs.Int("queue", 0, "max jobs queued but not running before 503 (0 = serve default)")
 	quota := fs.Int("quota", 0, "max unfinished jobs per client before 429 (0 = serve default)")
+	retain := fs.Int("retain", 0, "max finished jobs kept pollable before the oldest are evicted (0 = serve default)")
 	specPath := fs.String("fleet", "", "fleet spec JSON: run jobs through the fleet scheduler instead of in-process")
 	gcInterval := fs.Duration("gcinterval", 0, "periodically GC the cache at this interval (0 = never)")
 	gcMaxAge := fs.Duration("gcmaxage", 30*24*time.Hour, "with -gcinterval: evict entries older than this (0 = no age bound)")
 	gcMaxEntries := fs.Int("gcmaxentries", 0, "with -gcinterval: keep at most this many newest entries (0 = unbounded)")
 	verbose := fs.Bool("v", false, "log job lifecycle and GC diagnostics")
 	fs.Usage = func() {
-		fmt.Fprintf(a.stderr, "usage: accesys serve [-addr host:port] [-cache dir] [-jobs N] [-concurrency N] [-queue N] [-quota N] [-fleet spec.json] [-gcinterval d] [-v]\n")
+		fmt.Fprintf(a.stderr, "usage: accesys serve [-addr host:port] [-cache dir] [-jobs N] [-concurrency N] [-queue N] [-quota N] [-retain N] [-fleet spec.json] [-gcinterval d] [-v]\n")
 		fs.PrintDefaults()
 	}
 	if code := parse(fs, args); code >= 0 {
@@ -56,6 +57,7 @@ func (a *app) cmdServe(args []string) int {
 		Concurrency:  *concurrency,
 		QueueLimit:   *queue,
 		ClientQuota:  *quota,
+		JobRetention: *retain,
 		GCInterval:   *gcInterval,
 		GCMaxAge:     *gcMaxAge,
 		GCMaxEntries: *gcMaxEntries,

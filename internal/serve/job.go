@@ -93,6 +93,13 @@ func (j *job) publish() {
 	j.mu.Unlock()
 }
 
+// terminalState reports whether the job has reached done or failed.
+func (j *job) terminalState() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == stateDone || j.state == stateFailed
+}
+
 // JobStatus is the wire form of a job's state — what poll, list, and
 // the event stream serve.
 type JobStatus struct {

@@ -6,7 +6,8 @@
 // simulations through one in-flight dedup Flight instead of racing;
 // a full queue pushes back with Retry-After instead of accepting
 // unbounded work; per-client quotas keep one client from monopolising
-// the queue.
+// the queue; a retention cap on finished jobs keeps the job table
+// bounded over the daemon's lifetime.
 package serve
 
 import (
@@ -43,6 +44,11 @@ type Config struct {
 	// ClientQuota bounds one client's unfinished (queued or running)
 	// jobs (default 4); submissions beyond it are rejected with 429.
 	ClientQuota int
+	// JobRetention bounds how many terminal (done or failed) jobs stay
+	// pollable (default 256); beyond it the oldest are evicted, results
+	// and all, so a long-lived daemon's job table doesn't grow without
+	// bound. Unfinished jobs are never evicted.
+	JobRetention int
 	// FleetSpec, when non-nil, runs each job through the fleet
 	// scheduler (fleet.Launch) instead of the in-process executor; the
 	// shard caches merge into Cache's directory, so later jobs still
@@ -82,6 +88,13 @@ func (c Config) clientQuota() int {
 		return c.ClientQuota
 	}
 	return 4
+}
+
+func (c Config) jobRetention() int {
+	if c.JobRetention > 0 {
+		return c.JobRetention
+	}
+	return 256
 }
 
 // Server is one running sweep service. Build with New, mount Handler
@@ -153,6 +166,10 @@ func (s *Server) logf(format string, args ...any) {
 // Close stops accepting submissions, fails jobs still waiting in the
 // queue, waits for running jobs to finish, and flushes the cache
 // counters and profile a final time.
+//
+// Closing s.queue is safe only because every send holds s.mu and
+// re-checks closed first: once closed flips under the lock, no sender
+// can reach the channel again, so the close below cannot race a send.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -182,14 +199,21 @@ func (s *Server) flushState() error {
 // submit registers and enqueues a parsed job. It returns a submitError
 // carrying the HTTP status the handler should answer with when the
 // server is closed, the client is over quota, or the queue is full.
+//
+// The non-blocking enqueue happens while still holding s.mu, for two
+// reasons. First, closed is checked under the same lock Close sets it,
+// and Close only closes s.queue after flipping closed — so no send can
+// race the close (a send on a closed channel panics). Second, a job is
+// registered in jobs/order/byClient only after its enqueue succeeds,
+// so a queue-full rejection has nothing to roll back — no window where
+// a concurrent submit's registration could be clobbered.
 func (s *Server) submit(client string, sc *scenario.Scenario, manifest []byte, full bool, total int) (*job, *submitError) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		return nil, errServerClosed
 	}
 	if s.byClient[client] >= s.cfg.clientQuota() {
-		s.mu.Unlock()
 		return nil, errQuotaExceeded
 	}
 	s.nextID++
@@ -203,27 +227,20 @@ func (s *Server) submit(client string, sc *scenario.Scenario, manifest []byte, f
 		total:     total,
 		submitted: s.now(),
 	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		return nil, errQueueFull
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.byClient[client]++
-	s.mu.Unlock()
-
-	select {
-	case s.queue <- j:
-		return j, nil
-	default:
-		// Queue full: withdraw the registration so the rejected job
-		// neither lingers nor burns quota.
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
-		s.byClient[client]--
-		s.mu.Unlock()
-		return nil, errQueueFull
-	}
+	return j, nil
 }
 
-// finish moves a job to a terminal state and releases its quota slot.
+// finish moves a job to a terminal state, releases its quota slot, and
+// enforces the terminal-job retention cap.
 func (s *Server) finish(j *job, err error) {
 	j.mu.Lock()
 	j.finished = s.now()
@@ -238,11 +255,43 @@ func (s *Server) finish(j *job, err error) {
 
 	s.mu.Lock()
 	s.byClient[j.client]--
+	if s.byClient[j.client] <= 0 {
+		delete(s.byClient, j.client)
+	}
+	s.evictLocked()
 	s.mu.Unlock()
 
 	if err := s.flushState(); err != nil {
 		s.logf("serve: flushing state after %s: %v", j.id, err)
 	}
+}
+
+// evictLocked enforces JobRetention: when terminal jobs exceed the
+// cap, the oldest are dropped from jobs/order — and their manifests
+// and rendered results with them — so a long-lived daemon's job table
+// stays bounded. Unfinished jobs are never evicted. The caller holds
+// s.mu; taking j.mu inside it is safe because no path acquires s.mu
+// while holding a job's lock.
+func (s *Server) evictLocked() {
+	over := -s.cfg.jobRetention()
+	for _, id := range s.order {
+		if s.jobs[id].terminalState() {
+			over++
+		}
+	}
+	if over <= 0 {
+		return
+	}
+	kept := make([]string, 0, len(s.order)-over)
+	for _, id := range s.order {
+		if over > 0 && s.jobs[id].terminalState() {
+			delete(s.jobs, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 // runLoop is one runner: it drains the queue until Close. Jobs still

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"accesys/internal/fleet"
+	"accesys/internal/scenario"
 	"accesys/internal/sweep"
 )
 
@@ -380,6 +382,282 @@ func TestCloseFailsQueuedJobsAndRejectsSubmissions(t *testing.T) {
 
 	if code, body, _ := submitManifest(t, ts, miniManifest, ""); code != http.StatusServiceUnavailable {
 		t.Fatalf("post-close submit: %d %v", code, body)
+	}
+}
+
+// TestConcurrentQueueFullRejectionsKeepRegistryConsistent hammers a
+// full queue with concurrent submissions — some accepted, most
+// rejected — and asserts the job registry stays coherent: the listing
+// serves exactly the accepted jobs and never panics on a dangling id.
+// Regression: the queue-full path used to roll back its registration
+// by truncating the tail of the order slice, which under this load
+// could drop a concurrent submission's id and leave its own dangling.
+func TestConcurrentQueueFullRejectionsKeepRegistryConsistent(t *testing.T) {
+	release := make(chan struct{})
+	releaseAll := sync.OnceFunc(func() { close(release) })
+	t.Cleanup(releaseAll)
+	var parked sync.WaitGroup
+	parked.Add(1)
+	once := sync.Once{}
+	testHookRunning = func(j *job) { once.Do(parked.Done); <-release }
+	defer func() { testHookRunning = nil }()
+
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Concurrency = 1
+		c.QueueLimit = 2
+		c.ClientQuota = 1
+	})
+
+	// Job 1 parks on the sole runner; the queue (capacity 2) is empty.
+	code, _, _ := submitManifest(t, ts, miniManifest, "seed")
+	if code != http.StatusAccepted {
+		t.Fatalf("seed submit: %d", code)
+	}
+	parked.Wait()
+
+	// 16 clients race for the 2 queue slots.
+	type outcome struct {
+		code int
+		id   string
+		err  error
+	}
+	results := make(chan outcome, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			req, err := http.NewRequest("POST", ts.URL+"/sweeps", strings.NewReader(miniManifest))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			req.Header.Set("X-Accesys-Client", fmt.Sprintf("c%d", g))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var body map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			id, _ := body["id"].(string)
+			results <- outcome{code: resp.StatusCode, id: id}
+		}(g)
+	}
+	accepted := map[string]bool{}
+	rejected := 0
+	for i := 0; i < 16; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatalf("concurrent submit: %v", o.err)
+		}
+		switch o.code {
+		case http.StatusAccepted:
+			accepted[o.id] = true
+		case http.StatusServiceUnavailable:
+			rejected++
+		default:
+			t.Fatalf("concurrent submit: status %d", o.code)
+		}
+	}
+	if len(accepted) != 2 || rejected != 14 {
+		t.Fatalf("accepted %d rejected %d, want 2/14", len(accepted), rejected)
+	}
+
+	// The listing must be exactly seed + the accepted jobs, in order —
+	// a corrupted registry either 500s, drops an accepted id, or keeps
+	// a rejected one.
+	var listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/sweeps", &listing); code != http.StatusOK {
+		t.Fatalf("listing status %d", code)
+	}
+	if len(listing.Jobs) != 3 {
+		t.Fatalf("listing has %d jobs, want 3: %+v", len(listing.Jobs), listing.Jobs)
+	}
+	for _, j := range listing.Jobs[1:] {
+		if !accepted[j.ID] {
+			t.Fatalf("listing holds unaccepted job %s", j.ID)
+		}
+	}
+
+	releaseAll()
+	for id := range accepted {
+		if st := waitDone(t, ts, id); st.State != stateDone {
+			t.Fatalf("accepted job %s finished %s: %s", id, st.State, st.Error)
+		}
+	}
+}
+
+// TestSubmitQueueFullRegistryInvariant hammers submit from many
+// goroutines against a tiny queue that the runner is actively
+// draining, so accepted and queue-full submissions interleave at the
+// capacity boundary, then checks the registry invariant: every id in
+// the order slice resolves to a registered job and vice versa.
+// Regression: the old queue-full rollback truncated the tail of the
+// order slice instead of removing its own id, so a rejection racing an
+// accepted registration dropped the wrong id and left its own
+// dangling, making the listing panic on a nil job.
+func TestSubmitQueueFullRegistryInvariant(t *testing.T) {
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Parse([]byte(miniManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := sc.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Cache: cache, Concurrency: 1, QueueLimit: 1, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; time.Now().Before(deadline); k++ {
+				// Fresh client per attempt keeps quota out of the way:
+				// every submission reaches the queue send.
+				s.submit(fmt.Sprintf("g%d-%d", g, k), sc, []byte(miniManifest), false, len(runs))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	for _, id := range s.order {
+		if s.jobs[id] == nil {
+			s.mu.Unlock()
+			t.Fatalf("order holds id %s with no registered job", id)
+		}
+	}
+	ordered := len(s.order)
+	registered := len(s.jobs)
+	s.mu.Unlock()
+	if ordered != registered {
+		t.Fatalf("order has %d ids but jobs has %d entries", ordered, registered)
+	}
+	// The listing exercises the same invariant end to end.
+	_ = s.snapshotAll()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestSubmitCloseRace drives submissions concurrently with Close.
+// Regression: submit used to send on the queue after releasing the
+// server lock, so a submission in flight while Close closed the
+// channel panicked the daemon; the send now happens under the same
+// lock that serialises the closed flag.
+func TestSubmitCloseRace(t *testing.T) {
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Parse([]byte(miniManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := sc.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		s, err := New(Config{Cache: cache, Concurrency: 1, QueueLimit: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for k := 0; ; k++ {
+					// Fresh client every attempt so quota never rejects
+					// before the send path is reached.
+					_, serr := s.submit(fmt.Sprintf("c%d-%d", g, k), sc, []byte(miniManifest), false, len(runs))
+					if serr == errServerClosed {
+						return
+					}
+				}
+			}(g)
+		}
+		close(start)
+		if err := s.Close(); err != nil {
+			t.Fatalf("round %d close: %v", round, err)
+		}
+		wg.Wait()
+	}
+}
+
+// TestJobRetentionEvictsOldestTerminal pins the retention policy: with
+// JobRetention 2, four finished jobs leave only the newest two
+// pollable, and the per-client quota table drops emptied entries.
+func TestJobRetentionEvictsOldestTerminal(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.JobRetention = 2 })
+	var ids []string
+	for i := 0; i < 4; i++ {
+		code, body, _ := submitManifest(t, ts, miniManifest, "alice")
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		id := body["id"].(string)
+		waitDone(t, ts, id)
+		ids = append(ids, id)
+	}
+
+	// Eviction runs just after the terminal state becomes pollable, so
+	// give the last finish a moment to complete its bookkeeping.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var listing struct {
+			Jobs []JobStatus `json:"jobs"`
+		}
+		if code := getJSON(t, ts.URL+"/sweeps", &listing); code != http.StatusOK {
+			t.Fatalf("listing status %d", code)
+		}
+		if len(listing.Jobs) == 2 {
+			if listing.Jobs[0].ID != ids[2] || listing.Jobs[1].ID != ids[3] {
+				t.Fatalf("retained jobs %+v, want %v then %v", listing.Jobs, ids[2], ids[3])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("listing never shrank to 2 jobs: %d", len(listing.Jobs))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Evicted jobs are gone from poll and rows alike.
+	for _, url := range []string{ts.URL + "/sweeps/" + ids[0], ts.URL + "/sweeps/" + ids[0] + "/rows"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s after eviction: %d, want 404", url, resp.StatusCode)
+		}
+	}
+
+	// All of alice's jobs finished, so her quota entry is deleted, not
+	// left at zero.
+	s.mu.Lock()
+	clients := len(s.byClient)
+	s.mu.Unlock()
+	if clients != 0 {
+		t.Fatalf("byClient has %d entries after all jobs finished, want 0", clients)
 	}
 }
 
