@@ -19,20 +19,31 @@
 #   make fuzz     - short native-fuzz pass over the manifest and shard
 #                   plan parsers (FUZZTIME per target, default 10s)
 #   make golden   - golden-row conformance suite (all nine experiments)
-#   make bench    - one pass over the benchmark harness (short mode)
+#   make bench    - one pass over the benchmark harness (short mode);
+#                   refreshes the BENCH_*.json perf trajectories in
+#                   place (ratcheted: committed values only improve)
+#   make benchcheck - perf regression gate: fresh trajectory run into a
+#                   scratch dir, compared against the committed
+#                   BENCH_*.json baselines with a BENCH_TOL band
 #   make cover    - coverage profile with a minimum total-coverage gate
 #   make figures  - regenerate every paper artifact (parallel, cached)
 #   make equiv    - timing-vs-analytic audit of every reproduced figure
 
 GO ?= go
 
-.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke servesmoke fuzz golden cover equiv ci bench figures clean
+.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke servesmoke fuzz golden cover equiv ci bench benchcheck figures clean
 
 # Minimum total statement coverage (percent) make cover enforces.
 COVER_FLOOR ?= 75
 
 # Per-target budget for make fuzz.
 FUZZTIME ?= 10s
+
+# Allowed fractional slowdown before make benchcheck fails (0.40 =
+# fresh throughput may be up to 40% below the committed baseline —
+# wide enough for shared-runner noise, tight enough to catch real
+# hot-path regressions).
+BENCH_TOL ?= 0.40
 
 all: build
 
@@ -128,10 +139,21 @@ cover:
 equiv:
 	$(GO) run ./cmd/accesys equiv fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9
 
-ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke fuzz golden bench cover
+ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke fuzz golden bench benchcheck cover
 
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' .
+
+# Fresh trajectory run (3 samples, ratcheted to best) into a scratch
+# directory, then compare against the committed baselines.
+BENCHFRESH_DIR := .benchfresh
+benchcheck:
+	@rm -rf $(BENCHFRESH_DIR) && mkdir -p $(BENCHFRESH_DIR)
+	BENCH_DIR=$(BENCHFRESH_DIR) $(GO) test -short -run '^$$' \
+		-bench 'SimulatorThroughput|SweepThroughput|ShardMerge' \
+		-benchtime=1x -count=3 .
+	$(GO) run ./cmd/benchcheck -baseline . -fresh $(BENCHFRESH_DIR) -tol $(BENCH_TOL)
+	@rm -rf $(BENCHFRESH_DIR)
 
 figures: build
 	$(GO) run ./cmd/accesys run -v

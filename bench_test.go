@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"accesys/internal/analytic"
+	"accesys/internal/bench"
 	"accesys/internal/core"
 	"accesys/internal/dram"
 	"accesys/internal/driver"
@@ -26,6 +27,32 @@ import (
 	"accesys/internal/sweep"
 	"accesys/internal/workload"
 )
+
+// recordBest merges records into the named trajectory file under
+// bench.Dir, keeping the higher value wherever a (benchmark, metric)
+// pair is already recorded. This is the perf ratchet: `make bench`
+// can only improve the committed numbers, so a genuine regression
+// shows up as a benchcheck failure instead of silently overwriting
+// the baseline. To deliberately re-baseline (new host), delete the
+// file and re-run `make bench`.
+func recordBest(b *testing.B, name string, recs []bench.Record) {
+	b.Helper()
+	path := filepath.Join(bench.Dir("."), name)
+	if old, err := bench.ReadFile(path); err == nil {
+		prev := make(map[string]bench.Record, len(old))
+		for _, r := range old {
+			prev[r.Benchmark+"\x00"+r.Metric] = r
+		}
+		for i, r := range recs {
+			if o, ok := prev[r.Benchmark+"\x00"+r.Metric]; ok && o.Value > r.Value {
+				recs[i] = o
+			}
+		}
+	}
+	if err := bench.WriteFile(path, recs); err != nil {
+		b.Logf("bench trajectory not recorded: %v", err)
+	}
+}
 
 // run executes one experiment per benchmark iteration and reports the
 // emitted rows so regressions in coverage are visible.
@@ -141,16 +168,81 @@ func BenchmarkAblationHostMemTech(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated
-// events per wall second on a PCIe streaming workload.
+// events (and simulated ticks) per wall second on the pinned GEMM
+// streaming workload (256^3 over PCIe-8GB). The wall clock covers
+// only the event loop, not system construction, and the measurement
+// lands in BENCH_sim.json — the main line of the perf trajectory.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	var events, ticks float64
+	var wall time.Duration
 	for i := 0; i < b.N; i++ {
 		cfg := core.PCIe8GB()
 		cfg.Name = fmt.Sprintf("throughput-%d", i)
 		sys, drv := exp.BuildSystem(cfg)
 		drv.RunGEMM(driver.GEMMSpec{M: 256, N: 256, K: 256}, func(driver.Result) {})
+		start := time.Now()
 		sys.Run()
-		b.ReportMetric(float64(sys.EQ.Executed), "events")
+		wall += time.Since(start)
+		events = float64(sys.EQ.Executed)
+		ticks = float64(sys.EQ.Now())
+		b.ReportMetric(events, "events")
 	}
+	b.StopTimer()
+	secs := wall.Seconds()
+	if secs <= 0 {
+		return
+	}
+	ctx := map[string]float64{"events_per_run": events, "gemm_n": 256}
+	recordBest(b, "BENCH_sim.json", []bench.Record{
+		{Benchmark: "SimulatorThroughput", Metric: "events_per_sec",
+			Value: events * float64(b.N) / secs, Unit: "events/s", Context: ctx},
+		{Benchmark: "SimulatorThroughput", Metric: "ticks_per_sec",
+			Value: ticks * float64(b.N) / secs, Unit: "ticks/s", Context: ctx},
+	})
+}
+
+// BenchmarkSweepThroughput measures end-to-end sweep speed over the
+// fig4 matrix, cold (every point simulated) and warm (every point
+// recalled from the on-disk cache), single-worker so the numbers are
+// comparable across hosts. Both land in BENCH_sweep.json.
+func BenchmarkSweepThroughput(b *testing.B) {
+	sc := scenario.MustBuiltin("fig4")
+	runs, err := sc.Expand(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := sc.Points(runs)
+	var coldWall, warmWall time.Duration
+	for i := 0; i < b.N; i++ {
+		cache, err := sweep.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		eng := &sweep.Engine{Jobs: 1, Cache: cache}
+		eng.Run(points)
+		coldWall += time.Since(start)
+		start = time.Now()
+		warm := &sweep.Engine{Jobs: 1, Cache: cache}
+		warm.Run(points)
+		warmWall += time.Since(start)
+		if _, misses, _ := cache.Stats(); misses != len(points) {
+			b.Fatalf("warm pass missed: %d misses for %d points", misses, len(points))
+		}
+	}
+	b.StopTimer()
+	n := float64(len(points) * b.N)
+	b.ReportMetric(float64(len(points)), "points")
+	if coldWall <= 0 || warmWall <= 0 {
+		return
+	}
+	ctx := map[string]float64{"points": float64(len(points)), "jobs": 1}
+	recordBest(b, "BENCH_sweep.json", []bench.Record{
+		{Benchmark: "SweepThroughput/cold", Metric: "points_per_sec",
+			Value: n / coldWall.Seconds(), Unit: "points/s", Context: ctx},
+		{Benchmark: "SweepThroughput/warm", Metric: "points_per_sec",
+			Value: n / warmWall.Seconds(), Unit: "points/s", Context: ctx},
+	})
 }
 
 // BenchmarkViTLayer measures one simulated encoder layer end to end.
@@ -248,9 +340,8 @@ func BenchmarkAnalyticBackend(b *testing.B) {
 // BenchmarkShardMerge measures the distributed-sweep merge step:
 // folding pre-seeded shard cache directories into one canonical cache
 // (entry import + counter fold), reported as merged points per
-// second. It also records the measurement into BENCH_shard.json at
-// the repository root — the bench trajectory file tracking merge
-// throughput across commits.
+// second. The measurement lands in BENCH_shard.json under the unified
+// bench-record schema.
 func BenchmarkShardMerge(b *testing.B) {
 	const shards, perShard = 4, 250
 	root := b.TempDir()
@@ -295,27 +386,12 @@ func BenchmarkShardMerge(b *testing.B) {
 	pps := float64(merged) / elapsed.Seconds()
 	b.ReportMetric(pps, "points/s")
 	b.StopTimer()
-	writeShardTrajectory(b, pps, shards, shards*perShard)
-}
-
-// writeShardTrajectory records the latest merge throughput sample.
-// The file lives at the repository root (the benchmark package's
-// working directory) so `make bench` refreshes it in place.
-func writeShardTrajectory(b *testing.B, pointsPerSec float64, shards, points int) {
-	b.Helper()
-	sample := map[string]any{
-		"benchmark":      "ShardMerge",
-		"shards":         shards,
-		"points":         points,
-		"points_per_sec": pointsPerSec,
-	}
-	data, err := json.MarshalIndent(sample, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_shard.json", append(data, '\n'), 0o644); err != nil {
-		b.Logf("bench trajectory not recorded: %v", err)
-	}
+	recordBest(b, "BENCH_shard.json", []bench.Record{
+		// Tol: merge throughput is filesystem-bound and varies ~2x
+		// run to run, so it carries its own wide tolerance band.
+		{Benchmark: "ShardMerge", Metric: "points_per_sec", Value: pps, Unit: "points/s", Tol: 0.70,
+			Context: map[string]float64{"shards": shards, "points": shards * perShard}},
+	})
 }
 
 // Guard: the paper's link presets must keep their raw bandwidth.

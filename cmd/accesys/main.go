@@ -88,6 +88,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -128,21 +129,66 @@ func (a *app) errorf(format string, args ...any) int {
 
 // sweepFlags are the execution flags shared by run, sweep, and equiv.
 type sweepFlags struct {
-	full    *bool
-	verbose *bool
-	jobs    *int
-	cache   *string
-	nocache *bool
+	full       *bool
+	verbose    *bool
+	jobs       *int
+	cache      *string
+	nocache    *bool
+	cpuprofile *string
+	memprofile *string
 }
 
 func addSweepFlags(fs *flag.FlagSet) *sweepFlags {
 	return &sweepFlags{
-		full:    fs.Bool("full", false, "run paper-scale matrix sizes (2048); slower"),
-		verbose: fs.Bool("v", false, "stream per-run progress with completion counts and ETA"),
-		jobs:    fs.Int("jobs", runtime.NumCPU(), "parallel simulation workers per experiment"),
-		cache:   fs.String("cache", defaultCacheDir(), "result cache directory"),
-		nocache: fs.Bool("nocache", false, "disable the on-disk result cache"),
+		full:       fs.Bool("full", false, "run paper-scale matrix sizes (2048); slower"),
+		verbose:    fs.Bool("v", false, "stream per-run progress with completion counts and ETA"),
+		jobs:       fs.Int("jobs", runtime.NumCPU(), "parallel simulation workers per experiment"),
+		cache:      fs.String("cache", defaultCacheDir(), "result cache directory"),
+		nocache:    fs.Bool("nocache", false, "disable the on-disk result cache"),
+		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile of the whole command to this file"),
+		memprofile: fs.String("memprofile", "", "write a heap profile (post-GC) to this file on exit"),
 	}
+}
+
+// startProfiles begins CPU profiling when -cpuprofile was given. The
+// returned stop function finishes the CPU profile and writes the
+// -memprofile heap snapshot; defer it around the workload. A negative
+// code means continue; otherwise exit with it.
+func (a *app) startProfiles(f *sweepFlags) (stop func(), code int) {
+	stopCPU := func() {}
+	if *f.cpuprofile != "" {
+		w, err := os.Create(*f.cpuprofile)
+		if err != nil {
+			return func() {}, a.errorf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(w); err != nil {
+			w.Close()
+			return func() {}, a.errorf("starting CPU profile: %v", err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			w.Close()
+		}
+	}
+	memPath := *f.memprofile
+	return func() {
+		stopCPU()
+		if memPath == "" {
+			return
+		}
+		w, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(a.stderr, "accesys: heap profile: %v\n", err)
+			return
+		}
+		// A forced GC first so the snapshot shows live retained heap,
+		// not garbage awaiting collection.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(w); err != nil {
+			fmt.Fprintf(a.stderr, "accesys: heap profile: %v\n", err)
+		}
+		w.Close()
+	}, -1
 }
 
 // options opens the cache (unless disabled) and assembles the shared
@@ -219,7 +265,7 @@ func (a *app) cmdRun(args []string) int {
 	f := addSweepFlags(fs)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(a.stderr, "usage: accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]\n")
+		fmt.Fprintf(a.stderr, "usage: accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-cpuprofile file] [-memprofile file] [experiment ...]\n")
 		fmt.Fprintf(a.stderr, "experiments: %s (default: all)\n", strings.Join(exp.IDs(), " "))
 		fs.PrintDefaults()
 	}
@@ -230,6 +276,12 @@ func (a *app) cmdRun(args []string) int {
 	if *list {
 		return a.cmdList(nil)
 	}
+
+	stop, code := a.startProfiles(f)
+	if code >= 0 {
+		return code
+	}
+	defer stop()
 
 	opt := a.options(f)
 	ids := fs.Args()
@@ -255,7 +307,7 @@ func (a *app) cmdSweep(args []string) int {
 	f := addSweepFlags(fs)
 	csvPath := fs.String("csv", "", "also write the table as CSV to this file (single manifest only)")
 	fs.Usage = func() {
-		fmt.Fprintf(a.stderr, "usage: accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...\n")
+		fmt.Fprintf(a.stderr, "usage: accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] [-cpuprofile file] [-memprofile file] manifest.json ...\n")
 		fs.PrintDefaults()
 	}
 	if code := parse(fs, args); code >= 0 {
@@ -270,6 +322,12 @@ func (a *app) cmdSweep(args []string) int {
 	if *csvPath != "" && len(manifests) != 1 {
 		return a.errorf("-csv needs exactly one manifest, have %d", len(manifests))
 	}
+
+	stop, code := a.startProfiles(f)
+	if code >= 0 {
+		return code
+	}
+	defer stop()
 
 	opt := a.options(f)
 	for _, path := range manifests {

@@ -274,3 +274,34 @@ func TestHelpExitsUsage(t *testing.T) {
 		t.Fatalf("help missing subcommands:\n%s", errOut)
 	}
 }
+
+// TestSweepWritesProfiles pins the app-layer profiling flags: a sweep
+// with -cpuprofile/-memprofile must leave non-empty pprof files.
+func TestSweepWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	manifest := writeManifest(t, miniManifest)
+	code, _, stderr := testApp(t, "sweep", "-nocache", "-cpuprofile", cpu, "-memprofile", mem, manifest)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunBadProfilePathFails pins the error path: an unwritable
+// profile destination is a usage error, not a silent no-op.
+func TestRunBadProfilePathFails(t *testing.T) {
+	code, _, stderr := testApp(t, "run", "-nocache", "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "p.out"), "fig2")
+	if code != usageErr {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+}

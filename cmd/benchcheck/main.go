@@ -1,0 +1,71 @@
+// Command benchcheck is the performance regression gate: it compares
+// a fresh benchmark run (written into a scratch directory via the
+// BENCH_DIR environment variable) against the committed BENCH_*.json
+// trajectory baselines at the repository root, and exits nonzero when
+// any baseline metric fell below the tolerance band. `make benchcheck`
+// wires the fresh run and this comparison together; `make ci` runs it
+// after every test pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"accesys/internal/bench"
+)
+
+func main() {
+	baseDir := flag.String("baseline", ".", "directory holding committed BENCH_*.json baselines")
+	freshDir := flag.String("fresh", "", "directory holding the fresh run's BENCH_*.json files")
+	tol := flag.Float64("tol", 0.40, "allowed fractional slowdown before failing (0.40 = fresh may be up to 40% below baseline)")
+	flag.Parse()
+	if *freshDir == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -fresh directory required")
+		os.Exit(2)
+	}
+
+	names, err := filepath.Glob(filepath.Join(*baseDir, "BENCH_*.json"))
+	if err != nil || len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: no BENCH_*.json baselines in %s\n", *baseDir)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range names {
+		base, err := bench.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		freshPath := filepath.Join(*freshDir, filepath.Base(name))
+		fresh, err := bench.ReadFile(freshPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: fresh run missing %s: %v\n", filepath.Base(name), err)
+			failed = true
+			continue
+		}
+		regs := bench.Compare(base, fresh, *tol)
+		for _, r := range regs {
+			fmt.Printf("FAIL %s: %s\n", filepath.Base(name), r)
+			failed = true
+		}
+		if len(regs) == 0 {
+			for _, b := range base {
+				for _, f := range fresh {
+					if f.Benchmark == b.Benchmark && f.Metric == b.Metric {
+						fmt.Printf("ok   %s: %s/%s %.4g -> %.4g (%.2fx)\n",
+							filepath.Base(name), b.Benchmark, b.Metric, b.Value, f.Value, f.Value/b.Value)
+					}
+				}
+			}
+		}
+	}
+	if failed {
+		fmt.Println("benchcheck: performance regression detected")
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: all baselines within %.0f%% tolerance\n", *tol*100)
+}

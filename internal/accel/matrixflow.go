@@ -209,10 +209,7 @@ func (m *MatrixFlow) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool
 		}
 		m.writeReg(idx, v)
 	case pkt.Cmd.IsRead():
-		if pkt.Data == nil {
-			pkt.Data = make([]byte, 8)
-		}
-		binary.LittleEndian.PutUint64(pkt.Data, m.regs[idx])
+		binary.LittleEndian.PutUint64(pkt.AllocData(), m.regs[idx])
 	}
 	pkt.MakeResponse()
 	m.csrRespQ.Schedule(pkt, m.eq.Now()+m.cfg.CSRLatency)

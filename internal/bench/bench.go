@@ -1,0 +1,117 @@
+// Package bench defines the unified bench-record schema shared by the
+// BENCH_*.json trajectory files at the repository root, and the
+// comparison logic behind the `make benchcheck` regression gate: a
+// fresh benchmark run is compared record-by-record against the
+// committed baselines and fails CI when throughput falls outside the
+// tolerance band.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Record is one benchmark measurement. Value is always oriented so
+// that higher is better (throughputs, rates); Context carries the
+// fixed parameters that make the measurement comparable across
+// commits (workload size, shard count, point count).
+type Record struct {
+	Benchmark string             `json:"benchmark"`
+	Metric    string             `json:"metric"`
+	Value     float64            `json:"value"`
+	Unit      string             `json:"unit,omitempty"`
+	Context   map[string]float64 `json:"context,omitempty"`
+
+	// Tol, when nonzero, overrides the gate's global tolerance for
+	// this record — I/O-bound benchmarks (shard merge) carry more
+	// run-to-run noise than the CPU-bound simulator loop and need a
+	// wider band.
+	Tol float64 `json:"tol,omitempty"`
+}
+
+// Dir returns the directory trajectory files are written to: the
+// BENCH_DIR environment variable when set (benchcheck points it at a
+// scratch directory for the fresh run), otherwise def.
+func Dir(def string) string {
+	if d := os.Getenv("BENCH_DIR"); d != "" {
+		return d
+	}
+	return def
+}
+
+// WriteFile stores records as an indented JSON array with a trailing
+// newline, the canonical committed form.
+func WriteFile(path string, recs []Record) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a trajectory file written by WriteFile.
+func ReadFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Regression is one comparison failure: a baseline record whose fresh
+// counterpart is missing or below the tolerance band.
+type Regression struct {
+	Benchmark string
+	Metric    string
+	Baseline  float64
+	Fresh     float64 // 0 when the fresh record is missing
+	Missing   bool
+}
+
+// String formats the regression for gate output.
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s/%s: baseline %.4g has no fresh measurement", r.Benchmark, r.Metric, r.Baseline)
+	}
+	return fmt.Sprintf("%s/%s: %.4g -> %.4g (%.2fx)", r.Benchmark, r.Metric, r.Baseline, r.Fresh, r.Fresh/r.Baseline)
+}
+
+// Compare checks fresh against baseline: every baseline record must
+// have a fresh record with Value >= baseline*(1-tol), where a
+// baseline record's own Tol (when set) overrides the global tol.
+// Records present only in fresh are new benchmarks and pass. The
+// result is sorted by (benchmark, metric) for stable gate output;
+// empty means no regression.
+func Compare(baseline, fresh []Record, tol float64) []Regression {
+	have := make(map[string]float64, len(fresh))
+	for _, r := range fresh {
+		have[r.Benchmark+"\x00"+r.Metric] = r.Value
+	}
+	var regs []Regression
+	for _, b := range baseline {
+		band := tol
+		if b.Tol > 0 {
+			band = b.Tol
+		}
+		got, ok := have[b.Benchmark+"\x00"+b.Metric]
+		switch {
+		case !ok:
+			regs = append(regs, Regression{Benchmark: b.Benchmark, Metric: b.Metric, Baseline: b.Value, Missing: true})
+		case got < b.Value*(1-band):
+			regs = append(regs, Regression{Benchmark: b.Benchmark, Metric: b.Metric, Baseline: b.Value, Fresh: got})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Benchmark != regs[j].Benchmark {
+			return regs[i].Benchmark < regs[j].Benchmark
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

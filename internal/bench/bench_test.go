@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func recs(v float64) []Record {
+	return []Record{
+		{Benchmark: "SimulatorThroughput", Metric: "events_per_sec", Value: v, Unit: "events/s"},
+		{Benchmark: "ShardMerge", Metric: "points_per_sec", Value: 5000, Unit: "points/s"},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	want := recs(2.5e6)
+	want[0].Context = map[string]float64{"events": 100712}
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0].Value != want[0].Value || got[0].Context["events"] != 100712 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestCompareFlagsSyntheticSlowdown is the gate's own gate: a fresh
+// run slowed below the tolerance band must be reported.
+func TestCompareFlagsSyntheticSlowdown(t *testing.T) {
+	base := recs(2.0e6)
+	if r := Compare(base, recs(2.0e6), 0.25); len(r) != 0 {
+		t.Fatalf("identical run flagged: %v", r)
+	}
+	if r := Compare(base, recs(1.6e6), 0.25); len(r) != 0 {
+		t.Fatalf("within-band run flagged: %v", r)
+	}
+	slow := Compare(base, recs(1.0e6), 0.25)
+	if len(slow) != 1 || slow[0].Benchmark != "SimulatorThroughput" || slow[0].Missing {
+		t.Fatalf("2x slowdown not flagged: %v", slow)
+	}
+}
+
+func TestCompareMissingFreshRecord(t *testing.T) {
+	base := recs(2.0e6)
+	r := Compare(base, base[:1], 0.25)
+	if len(r) != 1 || !r[0].Missing || r[0].Benchmark != "ShardMerge" {
+		t.Fatalf("missing record not flagged: %v", r)
+	}
+	// New fresh-only benchmarks pass.
+	extra := append(recs(2.0e6), Record{Benchmark: "New", Metric: "m", Value: 1})
+	if r := Compare(base, extra, 0.25); len(r) != 0 {
+		t.Fatalf("fresh-only record flagged: %v", r)
+	}
+}
+
+func TestDirEnvOverride(t *testing.T) {
+	t.Setenv("BENCH_DIR", "/tmp/somewhere")
+	if d := Dir("."); d != "/tmp/somewhere" {
+		t.Fatalf("Dir = %q", d)
+	}
+	t.Setenv("BENCH_DIR", "")
+	if d := Dir("."); d != "." {
+		t.Fatalf("Dir = %q", d)
+	}
+}
+
+// TestComparePerRecordTolerance pins that a record's own Tol widens
+// (or narrows) the band independently of the global tolerance.
+func TestComparePerRecordTolerance(t *testing.T) {
+	base := []Record{{Benchmark: "IO", Metric: "points_per_sec", Value: 100, Tol: 0.70}}
+	if r := Compare(base, []Record{{Benchmark: "IO", Metric: "points_per_sec", Value: 40}}, 0.25); len(r) != 0 {
+		t.Fatalf("within per-record band but flagged: %v", r)
+	}
+	if r := Compare(base, []Record{{Benchmark: "IO", Metric: "points_per_sec", Value: 20}}, 0.25); len(r) != 1 {
+		t.Fatalf("below per-record band not flagged: %v", r)
+	}
+}

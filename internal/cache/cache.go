@@ -107,7 +107,6 @@ type mshr struct {
 	targets  []target
 }
 
-type fillState struct{ m *mshr }
 type wbState struct{}
 type bypassState struct{}
 
@@ -129,6 +128,14 @@ type Cache struct {
 
 	mshrs     map[uint64]*mshr
 	needRetry bool
+
+	// txnFree/mshrFree/bufFree recycle transaction records, miss
+	// records, and line buffers so the steady-state request path does
+	// not allocate. Line buffers come back from acknowledged
+	// writebacks (cloneWrite copies, so nothing else aliases them).
+	txnFree  []*txn
+	mshrFree []*mshr
+	bufFree  [][]byte
 
 	snoopers []Snooper
 	downFunc mem.Functional
@@ -246,7 +253,14 @@ func (c *Cache) victim(lineAddr uint64) *line {
 		}
 	}
 	if v.data == nil || len(v.data) != c.cfg.LineBytes {
-		v.data = make([]byte, c.cfg.LineBytes)
+		if n := len(c.bufFree); n > 0 {
+			v.data = c.bufFree[n-1]
+			c.bufFree[n-1] = nil
+			c.bufFree = c.bufFree[:n-1]
+			clear(v.data)
+		} else {
+			v.data = make([]byte, c.cfg.LineBytes)
+		}
 	} else {
 		for i := range v.data {
 			v.data[i] = 0
@@ -269,10 +283,7 @@ func (c *Cache) apply(l *line, tg target) {
 		}
 		l.dirty = true
 	} else {
-		if pkt.Data == nil {
-			pkt.Data = make([]byte, pkt.Size)
-		}
-		copy(pkt.Data[tg.pktOff:tg.pktOff+tg.n], l.data[tg.lineOff:tg.lineOff+tg.n])
+		copy(pkt.AllocData()[tg.pktOff:tg.pktOff+tg.n], l.data[tg.lineOff:tg.lineOff+tg.n])
 	}
 	c.useCounter++
 	l.lastUse = c.useCounter
@@ -286,7 +297,40 @@ func (c *Cache) lineDone(t *txn, at sim.Tick) {
 	if t.remaining == 0 {
 		t.pkt.MakeResponse()
 		c.respQ.Schedule(t.pkt, t.finish)
+		c.putTxn(t)
 	}
+}
+
+func (c *Cache) getTxn() *txn {
+	if n := len(c.txnFree); n > 0 {
+		t := c.txnFree[n-1]
+		c.txnFree[n-1] = nil
+		c.txnFree = c.txnFree[:n-1]
+		return t
+	}
+	return &txn{}
+}
+
+func (c *Cache) putTxn(t *txn) {
+	*t = txn{}
+	c.txnFree = append(c.txnFree, t)
+}
+
+func (c *Cache) getMSHR() *mshr {
+	if n := len(c.mshrFree); n > 0 {
+		m := c.mshrFree[n-1]
+		c.mshrFree[n-1] = nil
+		c.mshrFree = c.mshrFree[:n-1]
+		return m
+	}
+	return &mshr{}
+}
+
+func (c *Cache) putMSHR(m *mshr) {
+	clear(m.targets)
+	m.targets = m.targets[:0]
+	m.lineAddr = 0
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 // snoopLine consults all registered snoopers for a line; returns dirty
@@ -337,10 +381,11 @@ func (c *Cache) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool {
 	}
 
 	isWrite := pkt.Cmd.IsWrite()
-	if pkt.Cmd.IsRead() && pkt.Data == nil {
-		pkt.Data = make([]byte, pkt.Size)
+	if pkt.Cmd.IsRead() {
+		pkt.AllocData()
 	}
-	t := &txn{pkt: pkt, remaining: linesCovered}
+	t := c.getTxn()
+	t.pkt, t.remaining = pkt, linesCovered
 
 	for la := first; la <= last; la += lb {
 		ovStart := la
@@ -394,10 +439,12 @@ func (c *Cache) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool {
 			m.targets = append(m.targets, tg)
 			continue
 		}
-		m := &mshr{lineAddr: la, targets: []target{tg}}
+		m := c.getMSHR()
+		m.lineAddr = la
+		m.targets = append(m.targets, tg)
 		c.mshrs[la] = m
 		fill := mem.NewRead(la, int(lb))
-		fill.PushState(fillState{m: m})
+		fill.PushState(m)
 		c.memQ.Schedule(fill, now+c.cfg.HitLatency+extra)
 	}
 	return true
@@ -409,15 +456,22 @@ func (c *Cache) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
 	now := c.eq.Now()
 	switch st := pkt.PopState().(type) {
 	case wbState:
-		// Writeback acknowledged; resources may have freed.
+		// Writeback acknowledged; resources may have freed. The cache
+		// originated the writeback, so its lease ends here and the
+		// line buffer it carried returns to the buffer freelist
+		// (posted-write clones copy, so nothing else aliases it).
+		if len(pkt.Data) == c.cfg.LineBytes {
+			c.bufFree = append(c.bufFree, pkt.Data)
+		}
+		pkt.Release()
 		c.retryAfterFree()
 		return true
 	case bypassState:
 		c.respQ.Schedule(pkt, now+c.cfg.ResponseLatency)
 		c.retryAfterFree()
 		return true
-	case fillState:
-		m := st.m
+	case *mshr:
+		m := st
 		l := c.victim(m.lineAddr)
 		copy(l.data, pkt.Data)
 		for _, tg := range m.targets {
@@ -425,6 +479,8 @@ func (c *Cache) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
 			c.lineDone(tg.t, now+c.cfg.ResponseLatency)
 		}
 		delete(c.mshrs, m.lineAddr)
+		c.putMSHR(m)
+		pkt.Release() // fill read originated by this cache; consumed here
 		c.retryAfterFree()
 		return true
 	default:

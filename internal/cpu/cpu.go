@@ -155,6 +155,9 @@ func (c *CPU) issue() {
 		}
 		pkt.Issued = c.eq.Now()
 		if !c.port.SendTimingReq(pkt) {
+			// The cursors did not advance: the retry rebuilds this
+			// line, so the refused packet's lease ends here.
+			pkt.Release()
 			c.portBlocked = true
 			return
 		}
@@ -172,6 +175,7 @@ func (c *CPU) issue() {
 
 // RecvTimingResp implements mem.Requestor.
 func (c *CPU) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
+	pkt.Release() // the CPU originated this access; its round trip ends here
 	c.outstanding--
 	if c.rdLeft > 0 || c.wrLeft > 0 {
 		c.issue()

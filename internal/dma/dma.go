@@ -86,6 +86,23 @@ type burstState struct {
 	n   int
 }
 
+// getBS leases a burst-state record from the engine's freelist so
+// stacking one on a packet does not allocate per burst.
+func (e *Engine) getBS() *burstState {
+	if n := len(e.bsFree); n > 0 {
+		st := e.bsFree[n-1]
+		e.bsFree[n-1] = nil
+		e.bsFree = e.bsFree[:n-1]
+		return st
+	}
+	return &burstState{}
+}
+
+func (e *Engine) putBS(st *burstState) {
+	*st = burstState{}
+	e.bsFree = append(e.bsFree, st)
+}
+
 // Engine is a multi-channel DMA engine sharing one request port.
 type Engine struct {
 	name string
@@ -95,6 +112,8 @@ type Engine struct {
 	port  *mem.RequestPort
 	reqQ  *mem.PacketQueue
 	chans []*channel
+
+	bsFree []*burstState // recycled burst-state records
 
 	descriptors *stats.Counter
 	bursts      *stats.Counter
@@ -218,7 +237,9 @@ func (c *channel) pump() {
 		}
 		pkt.Uncacheable = c.e.cfg.Uncacheable
 		pkt.Issued = c.e.eq.Now()
-		pkt.PushState(burstState{ch: c, t: t, off: t.offset, n: n})
+		st := c.e.getBS()
+		st.ch, st.t, st.off, st.n = c, t, t.offset, n
+		pkt.PushState(st)
 		t.offset += n
 		t.inflight += n
 		c.e.bursts.Inc()
@@ -228,13 +249,15 @@ func (c *channel) pump() {
 
 // RecvTimingResp implements mem.Requestor.
 func (e *Engine) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
-	st := pkt.PopState().(burstState)
+	st := pkt.PopState().(*burstState)
 	c, t := st.ch, st.t
 	if !t.isWrite && t.buf != nil && pkt.Data != nil {
 		copy(t.buf[st.off:st.off+st.n], pkt.Data[:st.n])
 	}
 	t.inflight -= st.n
 	t.completed += st.n
+	e.putBS(st)
+	pkt.Release() // the engine originated this burst; its round trip ends here
 	if t.completed == t.n {
 		e.latency.Sample(float64(e.eq.Now()-t.issuedAt) / float64(sim.Nanosecond))
 		if t.onDone != nil {

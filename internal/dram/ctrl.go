@@ -82,6 +82,7 @@ type DRAM struct {
 	store *mem.Storage
 
 	chans     []*chanCtrl
+	reqFree   []*dramReq // recycled queue entries
 	needRetry bool
 
 	reads     *stats.Counter
@@ -173,13 +174,11 @@ func (d *DRAM) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool {
 	d.store.Access(pkt, offset)
 
 	bb := d.cfg.Spec.BurstBytes()
-	req := &dramReq{
-		pkt:     pkt,
-		co:      cc.ch.decompose(local),
-		nBursts: (pkt.Size + bb - 1) / bb,
-		arrived: d.eq.Now(),
-		isWrite: isWrite,
-	}
+	req := d.getReq()
+	req.co = cc.ch.decompose(local)
+	req.nBursts = (pkt.Size + bb - 1) / bb
+	req.arrived = d.eq.Now()
+	req.isWrite = isWrite
 	if req.nBursts == 0 {
 		req.nBursts = 1
 	}
@@ -187,11 +186,14 @@ func (d *DRAM) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool {
 		d.writes.Inc()
 		cc.writeQ = append(cc.writeQ, req)
 		// Writes complete at the controller (posted) after the
-		// frontend latency; the drain happens in the background.
+		// frontend latency; the drain happens in the background. The
+		// requester may release the packet on the ack, so the queued
+		// request must not keep a reference (req.pkt stays nil).
 		pkt.MakeResponse()
 		d.respQ.Schedule(pkt, d.eq.Now()+d.cfg.FrontendLatency)
 	} else {
 		d.reads.Inc()
+		req.pkt = pkt
 		cc.readQ = append(cc.readQ, req)
 	}
 	d.bytes.Add(uint64(pkt.Size))
@@ -282,8 +284,26 @@ func (cc *chanCtrl) issue() {
 			req.pkt.MakeResponse()
 			d.respQ.Schedule(req.pkt, done)
 		}
+		d.putReq(req)
 		d.maybeRetry()
 	}
+}
+
+// getReq leases a zeroed queue entry from the controller's freelist.
+func (d *DRAM) getReq() *dramReq {
+	if n := len(d.reqFree); n > 0 {
+		req := d.reqFree[n-1]
+		d.reqFree[n-1] = nil
+		d.reqFree = d.reqFree[:n-1]
+		return req
+	}
+	return new(dramReq)
+}
+
+// putReq recycles an issued queue entry.
+func (d *DRAM) putReq(req *dramReq) {
+	*req = dramReq{}
+	d.reqFree = append(d.reqFree, req)
 }
 
 func (d *DRAM) maybeRetry() {

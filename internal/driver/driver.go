@@ -321,6 +321,7 @@ func (d *Driver) irqHandler(job accel.JobResult) {
 
 // RecvTimingResp implements mem.Requestor: MMIO write acks and reads.
 func (d *Driver) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
+	pkt.Release() // MMIO register-write ack; the round trip ends here
 	return true
 }
 

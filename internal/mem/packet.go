@@ -5,6 +5,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"accesys/internal/sim"
@@ -100,22 +101,107 @@ type Packet struct {
 
 	route  []*ResponsePort
 	states []any
+
+	// scratch is the packet-owned payload buffer AllocData hands out;
+	// it survives Release so steady-state reads recycle one array.
+	scratch  []byte
+	ownsData bool
+	released bool
+}
+
+// packetPool recycles Packet values, including their route/state stack
+// and scratch-buffer capacity. Each simulation is single-threaded but
+// the sweep engine runs many systems per process, hence a sync.Pool.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// getPacket leases a zeroed packet from the pool with a fresh ID.
+func getPacket() *Packet {
+	p := packetPool.Get().(*Packet)
+	p.released = false
+	p.ID = NextPacketID()
+	return p
 }
 
 // NewRead builds a read request of the given size. The data buffer is
-// allocated lazily by the responder.
+// allocated lazily by the responder (see AllocData).
 func NewRead(addr uint64, size int) *Packet {
-	return &Packet{ID: NextPacketID(), Cmd: ReadReq, Addr: addr, Size: size}
+	p := getPacket()
+	p.Cmd = ReadReq
+	p.Addr = addr
+	p.Size = size
+	return p
 }
 
 // NewWrite builds a write request carrying data. Size is len(data).
+// The packet aliases data; it stays owned by the caller and is never
+// recycled by Release.
 func NewWrite(addr uint64, data []byte) *Packet {
-	return &Packet{ID: NextPacketID(), Cmd: WriteReq, Addr: addr, Size: len(data), Data: data}
+	p := getPacket()
+	p.Cmd = WriteReq
+	p.Addr = addr
+	p.Size = len(data)
+	p.Data = data
+	return p
 }
 
 // NewWriteSize builds a timing-only write request with no payload.
 func NewWriteSize(addr uint64, size int) *Packet {
-	return &Packet{ID: NextPacketID(), Cmd: WriteReq, Addr: addr, Size: size}
+	p := getPacket()
+	p.Cmd = WriteReq
+	p.Addr = addr
+	p.Size = size
+	return p
+}
+
+// AllocData returns p.Data sized to p.Size, reusing the packet's own
+// scratch buffer when it is large enough. Responders call it to
+// materialize read payloads. The buffer is zeroed, packet-owned, and
+// recycled on Release — safe because read payloads are never aliased
+// by clones (only posted writes are cloned, and those carry
+// caller-owned data).
+func (p *Packet) AllocData() []byte {
+	if p.Data != nil {
+		return p.Data
+	}
+	if cap(p.scratch) >= p.Size {
+		p.Data = p.scratch[:p.Size]
+		clear(p.Data)
+	} else {
+		p.Data = make([]byte, p.Size)
+	}
+	p.ownsData = true
+	return p.Data
+}
+
+// Release returns the packet to the pool. Lease discipline: the
+// component that terminally consumes a packet releases it — the
+// original requester receiving its response, or the sink of a posted
+// write's acknowledged clone; everything in between only forwards.
+// Data is dropped unless AllocData produced it: write payloads alias
+// caller-owned buffers and must never be recycled. Releasing twice
+// panics. Packets that intentionally escape (held by tests for
+// assertions) may simply never be released.
+func (p *Packet) Release() {
+	if p.released {
+		panic(fmt.Sprintf("mem: packet %d released twice", p.ID))
+	}
+	for i := range p.route {
+		p.route[i] = nil
+	}
+	for i := range p.states {
+		p.states[i] = nil
+	}
+	scratch := p.scratch
+	if p.ownsData {
+		scratch = p.Data
+	}
+	*p = Packet{
+		route:    p.route[:0],
+		states:   p.states[:0],
+		scratch:  scratch[:0],
+		released: true,
+	}
+	packetPool.Put(p)
 }
 
 // MakeResponse converts the request into its response in place. The

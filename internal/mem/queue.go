@@ -11,9 +11,13 @@ import (
 // the peer refuses, and resumes when the owner forwards the retry
 // signal via RetryReceived.
 type PacketQueue struct {
-	eq      *sim.EventQueue
-	send    func(*Packet) bool
+	eq   *sim.EventQueue
+	send func(*Packet) bool
+	// entries[head:] is the live queue. Popping advances head instead
+	// of re-slicing the front away, so the backing array's capacity is
+	// reused forever — the queue allocates nothing in steady state.
 	entries []queuedPacket
+	head    int
 	event   *sim.Event
 	blocked bool
 
@@ -36,18 +40,18 @@ func NewPacketQueue(name string, eq *sim.EventQueue, send func(*Packet) bool) *P
 }
 
 // Len reports the number of packets waiting to be sent.
-func (q *PacketQueue) Len() int { return len(q.entries) }
+func (q *PacketQueue) Len() int { return len(q.entries) - q.head }
 
 // Empty reports whether nothing is queued.
-func (q *PacketQueue) Empty() bool { return len(q.entries) == 0 }
+func (q *PacketQueue) Empty() bool { return q.head == len(q.entries) }
 
 // NextReady returns the readiness tick of the head packet, or MaxTick
 // when empty.
 func (q *PacketQueue) NextReady() sim.Tick {
-	if len(q.entries) == 0 {
+	if q.Empty() {
 		return sim.MaxTick
 	}
-	return q.entries[0].ready
+	return q.entries[q.head].ready
 }
 
 // Schedule enqueues pkt to be sent no earlier than when. Packets keep
@@ -59,7 +63,7 @@ func (q *PacketQueue) Schedule(pkt *Packet, when sim.Tick) {
 		when = q.eq.Now()
 	}
 	i := len(q.entries)
-	for i > 0 && q.entries[i-1].ready > when {
+	for i > q.head && q.entries[i-1].ready > when {
 		i--
 	}
 	q.entries = append(q.entries, queuedPacket{})
@@ -68,11 +72,27 @@ func (q *PacketQueue) Schedule(pkt *Packet, when sim.Tick) {
 	q.arm()
 }
 
+// pop removes the head entry, reclaiming the consumed front of the
+// backing array once it dominates the slice.
+func (q *PacketQueue) pop() {
+	q.entries[q.head] = queuedPacket{}
+	q.head++
+	if q.head == len(q.entries) {
+		q.entries = q.entries[:0]
+		q.head = 0
+	} else if q.head >= 32 && q.head*2 >= len(q.entries) {
+		n := copy(q.entries, q.entries[q.head:])
+		clear(q.entries[n:])
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
+}
+
 func (q *PacketQueue) arm() {
-	if q.blocked || len(q.entries) == 0 {
+	if q.blocked || q.Empty() {
 		return
 	}
-	ready := q.entries[0].ready
+	ready := q.entries[q.head].ready
 	// arm can run reentrantly (a send chain scheduling back into this
 	// queue) while the head still awaits its pop; never arm in the past.
 	if now := q.eq.Now(); ready < now {
@@ -88,8 +108,8 @@ func (q *PacketQueue) arm() {
 }
 
 func (q *PacketQueue) trySend() {
-	for len(q.entries) > 0 && !q.blocked {
-		head := q.entries[0]
+	for !q.Empty() && !q.blocked {
+		head := q.entries[q.head]
 		if head.ready > q.eq.Now() {
 			q.arm()
 			return
@@ -98,7 +118,7 @@ func (q *PacketQueue) trySend() {
 			q.blocked = true
 			return
 		}
-		q.entries = q.entries[1:]
+		q.pop()
 		if q.OnDrain != nil {
 			q.OnDrain()
 		}
@@ -112,7 +132,7 @@ func (q *PacketQueue) RetryReceived() {
 		return
 	}
 	q.blocked = false
-	if len(q.entries) > 0 {
+	if !q.Empty() {
 		q.eq.Reschedule(q.event, q.eq.Now())
 	}
 }

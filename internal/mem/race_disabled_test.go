@@ -1,0 +1,5 @@
+//go:build !race
+
+package mem
+
+const raceEnabled = false

@@ -81,10 +81,7 @@ func (s *Storage) FramesTouched() int { return len(s.frames) }
 func (s *Storage) Access(pkt *Packet, offset uint64) {
 	switch {
 	case pkt.Cmd.IsRead():
-		if pkt.Data == nil {
-			pkt.Data = make([]byte, pkt.Size)
-		}
-		s.Read(offset, pkt.Data[:pkt.Size])
+		s.Read(offset, pkt.AllocData()[:pkt.Size])
 	case pkt.Cmd.IsWrite():
 		if pkt.Data != nil {
 			s.Write(offset, pkt.Data[:pkt.Size])

@@ -102,7 +102,10 @@ type EchoResponder struct {
 	Store   *mem.Storage
 	Latency sim.Tick
 	Base    uint64
-	// Requests records every accepted request in arrival order.
+	// Requests records a snapshot of every accepted request in arrival
+	// order. Snapshots, not the live packets: a requester under test
+	// releases its packets back to the pool after the round trip, which
+	// would scramble a log of live pointers.
 	Requests []*mem.Packet
 	// RefuseRequests exerts backpressure until ReleaseRequests.
 	RefuseRequests bool
@@ -127,7 +130,11 @@ func (e *EchoResponder) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) b
 		e.refused = true
 		return false
 	}
-	e.Requests = append(e.Requests, pkt)
+	snap := *pkt
+	if pkt.Data != nil {
+		snap.Data = append([]byte(nil), pkt.Data...)
+	}
+	e.Requests = append(e.Requests, &snap)
 	e.Store.Access(pkt, pkt.Addr-e.Base)
 	pkt.MakeResponse()
 	e.respQ.Schedule(pkt, e.EQ.Now()+e.Latency)

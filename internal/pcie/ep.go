@@ -25,7 +25,8 @@ type Endpoint struct {
 	devRespQ *mem.PacketQueue // completions back to the device
 	busReqQ  *mem.PacketQueue // unwrapped host requests into the device
 
-	up *conn // EP -> switch; set at tree construction
+	up   *conn // EP -> switch; set at tree construction
+	pool *tlpPool
 
 	procFree     sim.Tick
 	devNeedRetry bool
@@ -37,8 +38,8 @@ type Endpoint struct {
 	bytesUp  *stats.Counter
 }
 
-func newEndpoint(name string, idx int, eq *sim.EventQueue, reg *stats.Registry, cfg Config, ranges []mem.AddrRange) *Endpoint {
-	ep := &Endpoint{name: name, idx: idx, eq: eq, cfg: cfg, ranges: ranges}
+func newEndpoint(name string, idx int, eq *sim.EventQueue, reg *stats.Registry, cfg Config, pool *tlpPool, ranges []mem.AddrRange) *Endpoint {
+	ep := &Endpoint{name: name, idx: idx, eq: eq, cfg: cfg, pool: pool, ranges: ranges}
 	ep.devPort = mem.NewResponsePort(name+".dev", ep)
 	ep.busPort = mem.NewRequestPort(name+".bus", ep)
 	ep.devRespQ = mem.NewPacketQueue(name+".devrespq", eq, func(p *mem.Packet) bool {
@@ -82,14 +83,14 @@ func (ep *Endpoint) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool 
 		return false
 	}
 
-	var t *TLP
+	t := ep.pool.get(ep.eq)
 	switch pkt.Cmd {
 	case mem.ReadReq:
-		t = &TLP{Kind: MemRd, Pkt: pkt, Bytes: ep.cfg.TLPHeaderBytes, SrcEP: ep.idx}
+		t.Kind, t.Pkt, t.Bytes, t.SrcEP = MemRd, pkt, ep.cfg.TLPHeaderBytes, ep.idx
 	case mem.WriteReq:
 		clone := cloneWrite(pkt)
 		clone.PushState(postedClone{})
-		t = &TLP{Kind: MemWr, Pkt: clone, Bytes: ep.cfg.TLPHeaderBytes + pkt.Size, SrcEP: ep.idx}
+		t.Kind, t.Pkt, t.Bytes, t.SrcEP = MemWr, clone, ep.cfg.TLPHeaderBytes+pkt.Size, ep.idx
 		pkt.MakeResponse()
 		ep.devRespQ.Schedule(pkt, ep.eq.Now()+ep.cfg.EPLatency)
 	default:
@@ -99,7 +100,9 @@ func (ep *Endpoint) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool 
 	at := ep.procDelay()
 	ep.tlpsUp.Inc()
 	ep.bytesUp.Add(uint64(t.Bytes))
-	ep.eq.Schedule(func() { ep.up.send(t) }, at)
+	t.stage = stageSend
+	t.sendConn = ep.up
+	ep.eq.ScheduleEvent(t.ev, at, sim.PriorityDefault)
 	return true
 }
 
@@ -107,17 +110,24 @@ func (ep *Endpoint) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool 
 func (ep *Endpoint) deliverTLP(from *conn, t *TLP) {
 	ep.tlpsDown.Inc()
 	at := ep.procDelay()
-	ep.eq.Schedule(func() {
-		from.release(t)
-		switch t.Kind {
-		case Cpl:
-			// Completion of a device DMA read.
-			ep.devRespQ.Schedule(t.Pkt, ep.eq.Now())
-		case MemRd, MemWr:
-			// Host-initiated access into the device.
-			ep.busReqQ.Schedule(t.Pkt, ep.eq.Now())
-		}
-	}, at)
+	t.stage = stageEPUnwrap
+	t.dlvEP = ep
+	ep.eq.ScheduleEvent(t.ev, at, sim.PriorityDefault)
+}
+
+// unwrap hands the TLP's payload to the device side once it has left
+// the EP's processing pipeline, and retires the TLP.
+func (ep *Endpoint) unwrap(t *TLP) {
+	t.dlvFrom.release(t)
+	switch t.Kind {
+	case Cpl:
+		// Completion of a device DMA read.
+		ep.devRespQ.Schedule(t.Pkt, ep.eq.Now())
+	case MemRd, MemWr:
+		// Host-initiated access into the device.
+		ep.busReqQ.Schedule(t.Pkt, ep.eq.Now())
+	}
+	ep.pool.put(t)
 }
 
 // RecvTimingResp implements mem.Requestor: the device internals
@@ -128,18 +138,17 @@ func (ep *Endpoint) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool 
 		// Writes travelling downstream are posted clones; their marker
 		// is still stacked. Discard.
 		pkt.PopState()
+		pkt.Release()
 		return true
 	}
-	t := &TLP{
-		Kind:  Cpl,
-		Pkt:   pkt,
-		Bytes: ep.cfg.TLPHeaderBytes + pkt.Size,
-		SrcEP: ep.idx,
-	}
+	t := ep.pool.get(ep.eq)
+	t.Kind, t.Pkt, t.Bytes, t.SrcEP = Cpl, pkt, ep.cfg.TLPHeaderBytes+pkt.Size, ep.idx
 	at := ep.procDelay()
 	ep.tlpsUp.Inc()
 	ep.bytesUp.Add(uint64(t.Bytes))
-	ep.eq.Schedule(func() { ep.up.send(t) }, at)
+	t.stage = stageSend
+	t.sendConn = ep.up
+	ep.eq.ScheduleEvent(t.ev, at, sim.PriorityDefault)
 	return true
 }
 

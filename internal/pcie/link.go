@@ -91,7 +91,135 @@ type TLP struct {
 	SrcEP int // originating endpoint (upstream traffic)
 	DstEP int // destination endpoint (downstream completions)
 
-	onTxDone func() // releases the previous hop's buffer credit
+	// ev is the TLP's reusable step event: it drives every scheduled
+	// hop of the journey (send after bridge processing, forward at the
+	// switch, delivery at the end of a link, unwrap at the far
+	// bridge). The stages of one TLP never overlap in the event queue,
+	// so a single event suffices — and because each stage is scheduled
+	// by exactly one ScheduleEvent call where a closure Schedule used
+	// to be, the (tick, priority, seq) dispatch order is unchanged.
+	ev    *sim.Event
+	stage tlpStage
+
+	sendConn *conn        // stageSend: egress after bridge processing
+	fwd      *Switch      // stageForward: forwarding switch
+	fwdFrom  *conn        // ingress credit to release once egress tx completes
+	fwdUp    bool         // stageForward direction
+	dlvFrom  *conn        // conn that delivered (stageDeliver and unwrap)
+	dlvEP    *Endpoint    // stageEPUnwrap target
+	dlvRC    *RootComplex // stageRCUnwrap target
+
+	// releaseConn is the pending previous-hop credit release, consumed
+	// when the TLP starts transmitting on the next conn (replaces the
+	// old per-TLP onTxDone closure).
+	releaseConn *conn
+
+	// Credit claims held on conns. A TLP traverses at most two links
+	// per direction, so two slots cover the worst case.
+	claimConn [2]*conn
+	claimN    [2]int
+
+	// retired marks a TLP whose journey ended while a hop still held a
+	// credit claim on it (possible under cut-through, where delivery
+	// can precede the egress txDone); the final release recycles it.
+	retired bool
+	pool    *tlpPool
+}
+
+// tlpStage selects what the TLP's step event does when it fires.
+type tlpStage uint8
+
+const (
+	stageIdle tlpStage = iota
+	stageSend
+	stageForward
+	stageDeliver
+	stageEPUnwrap
+	stageRCUnwrap
+)
+
+// step dispatches the TLP's current pipeline stage.
+func (t *TLP) step() {
+	switch t.stage {
+	case stageSend:
+		c := t.sendConn
+		t.sendConn = nil
+		c.send(t)
+	case stageForward:
+		s := t.fwd
+		out := s.route(t, t.fwdUp)
+		t.releaseConn = t.fwdFrom
+		t.fwd, t.fwdFrom = nil, nil
+		out.send(t)
+	case stageDeliver:
+		c := t.dlvFrom
+		c.dst.deliverTLP(c, t)
+	case stageEPUnwrap:
+		t.dlvEP.unwrap(t)
+	case stageRCUnwrap:
+		t.dlvRC.unwrap(t)
+	default:
+		panic("pcie: TLP stepped while idle")
+	}
+}
+
+// claim records credit held on c.
+func (t *TLP) claim(c *conn, n int) {
+	for i := range t.claimConn {
+		if t.claimConn[i] == nil {
+			t.claimConn[i] = c
+			t.claimN[i] = n
+			return
+		}
+	}
+	panic(fmt.Sprintf("pcie: TLP holds too many credit claims (%s)", c.name))
+}
+
+// unclaim removes and returns the credit held on c.
+func (t *TLP) unclaim(c *conn) int {
+	for i := range t.claimConn {
+		if t.claimConn[i] == c {
+			n := t.claimN[i]
+			t.claimConn[i] = nil
+			t.claimN[i] = 0
+			return n
+		}
+	}
+	panic(fmt.Sprintf("pcie: %s releasing unclaimed TLP", c.name))
+}
+
+// idle reports whether no hop holds a credit claim on t.
+func (t *TLP) idle() bool { return t.claimConn[0] == nil && t.claimConn[1] == nil }
+
+// tlpPool recycles TLPs (and their bound step events) within one
+// fabric. It is single-threaded like the event queue it schedules on;
+// pooling per tree keeps each TLP's event on its own queue.
+type tlpPool struct{ free []*TLP }
+
+// get leases a zeroed TLP whose step event is bound to eq.
+func (p *tlpPool) get(eq *sim.EventQueue) *TLP {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return t
+	}
+	t := &TLP{pool: p}
+	t.ev = eq.NewEvent("pcie.tlp", t.step)
+	return t
+}
+
+// put recycles a TLP whose journey ended. If a hop still holds a
+// credit claim (cut-through can deliver before the egress txDone),
+// recycling is deferred to the last release.
+func (p *tlpPool) put(t *TLP) {
+	if !t.idle() {
+		t.retired = true
+		return
+	}
+	ev := t.ev
+	*t = TLP{ev: ev, pool: p}
+	p.free = append(p.free, t)
 }
 
 // receiver consumes TLPs delivered by a conn.
@@ -116,10 +244,20 @@ type conn struct {
 
 	capacity int // receiver buffer size in bytes
 	credit   int
-	claims   map[*TLP]int // credit held per in-flight TLP on this conn
 
-	q      []*TLP
+	// q[qh:] is the transmission queue; popping advances qh so the
+	// backing array's capacity is reused.
+	q  []*TLP
+	qh int
+
 	txBusy bool
+	// Transmission-completion state for the single in-flight tx: the
+	// persistent txDone event fires once per transmission, releasing
+	// the previous hop's claim (txRel) for the TLP that just left
+	// (txTLP).
+	txDoneEv *sim.Event
+	txRel    *conn
+	txTLP    *TLP
 
 	// OnDrain fires after each TLP begins transmission (queue slot
 	// freed); admission layers use it to wake refused senders.
@@ -133,8 +271,10 @@ func newConn(name string, eq *sim.EventQueue, link LinkConfig, dst receiver, buf
 	if link.PropDelay == 0 {
 		link.PropDelay = 5 * sim.Nanosecond
 	}
-	return &conn{name: name, eq: eq, link: link, dst: dst,
-		capacity: bufBytes, credit: bufBytes, claims: make(map[*TLP]int)}
+	c := &conn{name: name, eq: eq, link: link, dst: dst,
+		capacity: bufBytes, credit: bufBytes}
+	c.txDoneEv = eq.NewEvent(name+".txdone", c.txDone)
+	return c
 }
 
 // send enqueues a TLP for transmission.
@@ -144,13 +284,13 @@ func (c *conn) send(t *TLP) {
 }
 
 // queued reports TLPs waiting to start transmission.
-func (c *conn) queued() int { return len(c.q) }
+func (c *conn) queued() int { return len(c.q) - c.qh }
 
 func (c *conn) kick() {
-	if c.txBusy || len(c.q) == 0 {
+	if c.txBusy || c.qh == len(c.q) {
 		return
 	}
-	t := c.q[0]
+	t := c.q[c.qh]
 	// Oversize TLPs (bigger than the receiver buffer) claim the whole
 	// buffer rather than deadlocking.
 	need := t.Bytes
@@ -162,43 +302,60 @@ func (c *conn) kick() {
 		return // resumed by release()
 	}
 	c.credit -= need
-	c.claims[t] = need
-	c.q = c.q[1:]
+	t.claim(c, need)
+	c.q[c.qh] = nil
+	c.qh++
+	if c.qh == len(c.q) {
+		c.q = c.q[:0]
+		c.qh = 0
+	} else if c.qh >= 32 && c.qh*2 >= len(c.q) {
+		n := copy(c.q, c.q[c.qh:])
+		clear(c.q[n:])
+		c.q = c.q[:n]
+		c.qh = 0
+	}
 	c.txBusy = true
 
 	ser := c.link.SerTime(t.Bytes)
-	// Consume the callback now: with cut-through delivery the next hop
-	// may install its own onTxDone before this transmission finishes.
-	done := t.onTxDone
-	t.onTxDone = nil
-	c.eq.ScheduleAfter(func() {
-		c.txBusy = false
-		if done != nil {
-			done()
-		}
-		if c.OnDrain != nil {
-			c.OnDrain()
-		}
-		c.kick()
-	}, ser)
+	// Consume the pending release now: with cut-through delivery the
+	// next hop may install its own before this transmission finishes.
+	c.txRel = t.releaseConn
+	c.txTLP = t
+	t.releaseConn = nil
+	c.eq.ScheduleEvent(c.txDoneEv, c.eq.Now()+ser, sim.PriorityDefault)
 	deliverAt := ser
 	if c.cutThroughHdr > 0 && t.Bytes > c.cutThroughHdr {
 		deliverAt = c.link.SerTime(c.cutThroughHdr)
 	}
-	c.eq.ScheduleAfter(func() { c.dst.deliverTLP(c, t) }, deliverAt+c.link.PropDelay)
+	t.stage = stageDeliver
+	t.dlvFrom = c
+	c.eq.ScheduleEvent(t.ev, c.eq.Now()+deliverAt+c.link.PropDelay, sim.PriorityDefault)
+}
+
+// txDone completes the in-flight transmission: the line is free for
+// the next TLP and the previous hop's buffer credit can be returned.
+func (c *conn) txDone() {
+	c.txBusy = false
+	rel, t := c.txRel, c.txTLP
+	c.txRel, c.txTLP = nil, nil
+	if rel != nil {
+		rel.release(t)
+	}
+	if c.OnDrain != nil {
+		c.OnDrain()
+	}
+	c.kick()
 }
 
 // release returns buffer credit after a TLP fully leaves the receiving
 // hop.
 func (c *conn) release(t *TLP) {
-	claimed, ok := c.claims[t]
-	if !ok {
-		panic(fmt.Sprintf("pcie: %s releasing unclaimed TLP", c.name))
-	}
-	delete(c.claims, t)
-	c.credit += claimed
+	c.credit += t.unclaim(c)
 	if c.credit > c.capacity {
 		panic(fmt.Sprintf("pcie: %s credit overflow (%d > %d)", c.name, c.credit, c.capacity))
+	}
+	if t.retired && t.idle() {
+		t.pool.put(t)
 	}
 	c.kick()
 }

@@ -42,11 +42,16 @@ type RootComplex struct {
 	respQ *mem.PacketQueue // responses to host out hostPort
 
 	down *conn // RC -> switch; set at tree construction
+	pool *tlpPool
 
 	upProcFree   sim.Tick
 	downProcFree sim.Tick
 
 	hostNeedRetry bool
+
+	// epStates caches boxed epOrigin values so stacking one on an
+	// upstream request does not allocate per packet.
+	epStates []any
 
 	tlpsUp    *stats.Counter
 	tlpsDown  *stats.Counter
@@ -54,8 +59,8 @@ type RootComplex struct {
 	bytesDown *stats.Counter
 }
 
-func newRootComplex(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config) *RootComplex {
-	rc := &RootComplex{name: name, eq: eq, cfg: cfg}
+func newRootComplex(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config, pool *tlpPool) *RootComplex {
+	rc := &RootComplex{name: name, eq: eq, cfg: cfg, pool: pool}
 	rc.upPort = mem.NewRequestPort(name+".up", rc)
 	rc.hostPort = mem.NewResponsePort(name+".host", rc)
 	rc.memQ = mem.NewPacketQueue(name+".memq", eq, func(p *mem.Packet) bool {
@@ -100,17 +105,32 @@ func (rc *RootComplex) deliverTLP(from *conn, t *TLP) {
 	rc.tlpsUp.Inc()
 	rc.bytesUp.Add(uint64(t.Bytes))
 	at := rc.procDelay(true)
-	rc.eq.Schedule(func() {
-		from.release(t) // TLP has left the RC's rx buffer
-		switch t.Kind {
-		case MemRd, MemWr:
-			t.Pkt.PushState(epOrigin{ep: t.SrcEP})
-			rc.memQ.Schedule(t.Pkt, rc.eq.Now())
-		case Cpl:
-			// Completion for a host-initiated request.
-			rc.respQ.Schedule(t.Pkt, rc.eq.Now())
-		}
-	}, at)
+	t.stage = stageRCUnwrap
+	t.dlvRC = rc
+	rc.eq.ScheduleEvent(t.ev, at, sim.PriorityDefault)
+}
+
+// epState returns the cached boxed epOrigin for an endpoint index.
+func (rc *RootComplex) epState(ep int) any {
+	for len(rc.epStates) <= ep {
+		rc.epStates = append(rc.epStates, epOrigin{ep: len(rc.epStates)})
+	}
+	return rc.epStates[ep]
+}
+
+// unwrap issues the TLP's payload into the host memory system once it
+// has left the RC's processing pipeline, and retires the TLP.
+func (rc *RootComplex) unwrap(t *TLP) {
+	t.dlvFrom.release(t) // TLP has left the RC's rx buffer
+	switch t.Kind {
+	case MemRd, MemWr:
+		t.Pkt.PushState(rc.epState(t.SrcEP))
+		rc.memQ.Schedule(t.Pkt, rc.eq.Now())
+	case Cpl:
+		// Completion for a host-initiated request.
+		rc.respQ.Schedule(t.Pkt, rc.eq.Now())
+	}
+	rc.pool.put(t)
 }
 
 // RecvTimingResp implements mem.Requestor: the host memory system
@@ -119,22 +139,22 @@ func (rc *RootComplex) deliverTLP(from *conn, t *TLP) {
 func (rc *RootComplex) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
 	switch st := pkt.PopState().(type) {
 	case postedClone:
+		pkt.Release() // clone of a posted write; sinks here
 		return true
 	case epOrigin:
 		if pkt.Cmd == mem.WriteResp {
 			// Posted upstream write: already acknowledged at the EP.
+			pkt.Release()
 			return true
 		}
-		t := &TLP{
-			Kind:  Cpl,
-			Pkt:   pkt,
-			Bytes: rc.cfg.TLPHeaderBytes + pkt.Size,
-			DstEP: st.ep,
-		}
+		t := rc.pool.get(rc.eq)
+		t.Kind, t.Pkt, t.Bytes, t.DstEP = Cpl, pkt, rc.cfg.TLPHeaderBytes+pkt.Size, st.ep
 		at := rc.procDelay(false)
 		rc.tlpsDown.Inc()
 		rc.bytesDown.Add(uint64(t.Bytes))
-		rc.eq.Schedule(func() { rc.down.send(t) }, at)
+		t.stage = stageSend
+		t.sendConn = rc.down
+		rc.eq.ScheduleEvent(t.ev, at, sim.PriorityDefault)
 		return true
 	default:
 		panic(fmt.Sprintf("pcie: %s unexpected response state %T", rc.name, st))
@@ -149,14 +169,14 @@ func (rc *RootComplex) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bo
 		return false
 	}
 
-	var t *TLP
+	t := rc.pool.get(rc.eq)
 	switch {
 	case pkt.Cmd == mem.ReadReq:
-		t = &TLP{Kind: MemRd, Pkt: pkt, Bytes: rc.cfg.TLPHeaderBytes}
+		t.Kind, t.Pkt, t.Bytes = MemRd, pkt, rc.cfg.TLPHeaderBytes
 	case pkt.Cmd == mem.WriteReq:
 		clone := cloneWrite(pkt)
 		clone.PushState(postedClone{})
-		t = &TLP{Kind: MemWr, Pkt: clone, Bytes: rc.cfg.TLPHeaderBytes + pkt.Size}
+		t.Kind, t.Pkt, t.Bytes = MemWr, clone, rc.cfg.TLPHeaderBytes+pkt.Size
 		// Posted: acknowledge the writer at the bridge.
 		pkt.MakeResponse()
 		rc.respQ.Schedule(pkt, rc.eq.Now()+rc.cfg.RCLatency)
@@ -167,7 +187,9 @@ func (rc *RootComplex) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bo
 	at := rc.procDelay(false)
 	rc.tlpsDown.Inc()
 	rc.bytesDown.Add(uint64(t.Bytes))
-	rc.eq.Schedule(func() { rc.down.send(t) }, at)
+	t.stage = stageSend
+	t.sendConn = rc.down
+	rc.eq.ScheduleEvent(t.ev, at, sim.PriorityDefault)
 	return true
 }
 
@@ -186,13 +208,14 @@ func (rc *RootComplex) wakeHost() {
 	rc.hostPort.SendRetryReq()
 }
 
-// cloneWrite duplicates a write request for posted forwarding.
+// cloneWrite duplicates a write request for posted forwarding. The
+// payload is copied, not aliased: the original is acknowledged (and
+// its lease may end) at this bridge while the clone travels on, so
+// the two must not share a buffer.
 func cloneWrite(pkt *mem.Packet) *mem.Packet {
-	var c *mem.Packet
+	c := mem.NewWriteSize(pkt.Addr, pkt.Size)
 	if pkt.Data != nil {
-		c = mem.NewWrite(pkt.Addr, pkt.Data)
-	} else {
-		c = mem.NewWriteSize(pkt.Addr, pkt.Size)
+		copy(c.AllocData(), pkt.Data)
 	}
 	c.Vaddr = pkt.Vaddr
 	c.Uncacheable = pkt.Uncacheable

@@ -61,11 +61,11 @@ func (s *Switch) deliverTLP(from *conn, t *TLP) {
 	s.forwarded.Inc()
 	s.bytes.Add(uint64(t.Bytes))
 
-	s.eq.Schedule(func() {
-		out := s.route(t, upstream)
-		t.onTxDone = func() { from.release(t) }
-		out.send(t)
-	}, start+s.cfg.SwitchLatency)
+	t.stage = stageForward
+	t.fwd = s
+	t.fwdFrom = from
+	t.fwdUp = upstream
+	s.eq.ScheduleEvent(t.ev, start+s.cfg.SwitchLatency, sim.PriorityDefault)
 }
 
 func (s *Switch) route(t *TLP, upstream bool) *conn {

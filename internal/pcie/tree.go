@@ -111,7 +111,8 @@ func NewTree(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config, e
 	}
 
 	t := &Tree{cfg: cfg}
-	t.RC = newRootComplex(name+".rc", eq, reg, cfg)
+	pool := &tlpPool{}
+	t.RC = newRootComplex(name+".rc", eq, reg, cfg, pool)
 	t.Switch = newSwitch(name+".switch", eq, reg, cfg)
 
 	cut := 0
@@ -128,7 +129,7 @@ func NewTree(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config, e
 	t.Switch.up.cutThroughHdr = cut
 
 	for i, ranges := range epRanges {
-		ep := newEndpoint(fmt.Sprintf("%s.ep%d", name, i), i, eq, reg, cfg, ranges)
+		ep := newEndpoint(fmt.Sprintf("%s.ep%d", name, i), i, eq, reg, cfg, pool, ranges)
 		down := newConn(fmt.Sprintf("%s.sw2ep%d", name, i), eq, cfg.Link, ep, cfg.EPBufBytes)
 		down.cutThroughHdr = cut
 		ep.up = newConn(fmt.Sprintf("%s.ep%d2sw", name, i), eq, cfg.Link, t.Switch, cfg.SwitchBufBytes)

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -20,13 +19,22 @@ const (
 // Event is a scheduled closure. Events are created by EventQueue and
 // may be rescheduled or cancelled while pending. An Event value must
 // not be shared across queues.
+//
+// Events returned by Schedule/ScheduleAfter are recycled into the
+// queue's freelist once they fire (or are descheduled) and may be
+// handed out again by a later Schedule call. Holding such a handle
+// past its dispatch is safe only if nothing else schedules in
+// between; components that keep and reschedule an event long-term
+// must create it with NewEvent, which never recycles.
 type Event struct {
-	fn    func()
-	when  Tick
-	prio  Priority
-	seq   uint64
-	index int // heap index, -1 when not queued
-	name  string
+	fn      func()
+	when    Tick
+	prio    Priority
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	freeIdx int // freelist index, -1 when not in the freelist
+	recycle bool
+	name    string
 }
 
 // When reports the tick the event is scheduled for. Meaningless if the
@@ -39,48 +47,18 @@ func (e *Event) Pending() bool { return e.index >= 0 }
 // Name returns the diagnostic label assigned at creation.
 func (e *Event) Name() string { return e.name }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.when != b.when {
-		return a.when < b.when
-	}
-	if a.prio != b.prio {
-		return a.prio < b.prio
-	}
-	return a.seq < b.seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // EventQueue is the deterministic discrete-event scheduler. It is not
 // safe for concurrent use; the whole simulation runs on one queue in
 // one goroutine.
+//
+// The pending set is a 4-ary min-heap ordered by (tick, priority,
+// sequence). Four-way branching halves the tree depth of a binary
+// heap and keeps each node's children in one cache line, and the sift
+// loops below work directly on []*Event — no heap.Interface dynamic
+// dispatch, no any-boxing per push/pop.
 type EventQueue struct {
-	heap    eventHeap
+	heap    []*Event
+	free    []*Event // recycled one-shot events
 	now     Tick
 	seq     uint64
 	stopped bool
@@ -101,14 +79,28 @@ func (q *EventQueue) Now() Tick { return q.now }
 func (q *EventQueue) Len() int { return len(q.heap) }
 
 // NewEvent creates a named, unscheduled event bound to this queue.
+// NewEvent events are owned by the caller and are never recycled.
 func (q *EventQueue) NewEvent(name string, fn func()) *Event {
-	return &Event{fn: fn, index: -1, name: name}
+	return &Event{fn: fn, index: -1, freeIdx: -1, name: name}
 }
 
 // Schedule inserts fn to run at absolute tick when, with default
-// priority, and returns the event handle.
+// priority, and returns the event handle. The event comes from the
+// queue's freelist when one is available, so steady-state scheduling
+// allocates nothing.
 func (q *EventQueue) Schedule(fn func(), when Tick) *Event {
-	e := q.NewEvent("", fn)
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.freeIdx = -1
+		e.fn = fn
+		e.name = ""
+	} else {
+		e = &Event{fn: fn, index: -1, freeIdx: -1}
+	}
+	e.recycle = true
 	q.ScheduleEvent(e, when, PriorityDefault)
 	return e
 }
@@ -129,40 +121,64 @@ func (q *EventQueue) ScheduleEvent(e *Event, when Tick, prio Priority) {
 	if when < q.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", e.name, when, q.now))
 	}
+	if e.freeIdx >= 0 {
+		// A recycled one-shot handle is being scheduled again; pull it
+		// back out of the freelist so Schedule cannot hand it out twice.
+		q.unfree(e)
+	}
 	e.when = when
 	e.prio = prio
 	e.seq = q.seq
 	q.seq++
-	heap.Push(&q.heap, e)
+	q.heap = append(q.heap, e)
+	q.siftUp(len(q.heap)-1, e)
 }
 
 // Deschedule removes a pending event from the queue. Descheduling a
-// non-pending event is a no-op.
+// non-pending event is a no-op. A cancelled one-shot event returns to
+// the freelist like a fired one.
 func (q *EventQueue) Deschedule(e *Event) {
 	if !e.Pending() {
 		return
 	}
-	heap.Remove(&q.heap, e.index)
+	q.remove(e)
+	if e.recycle {
+		q.toFree(e)
+	}
 }
 
 // Reschedule moves a pending event to a new tick (or schedules it if it
 // was idle), keeping its priority.
 func (q *EventQueue) Reschedule(e *Event, when Tick) {
 	prio := e.prio
-	q.Deschedule(e)
+	if e.Pending() {
+		q.remove(e)
+	}
 	q.ScheduleEvent(e, when, prio)
 }
 
 // Step dispatches the single next event. It reports false when the
 // queue is empty.
 func (q *EventQueue) Step() bool {
-	if len(q.heap) == 0 {
+	h := q.heap
+	n := len(h) - 1
+	if n < 0 {
 		return false
 	}
-	e := heap.Pop(&q.heap).(*Event)
+	e := h[0]
+	last := h[n]
+	h[n] = nil
+	q.heap = h[:n]
+	if n > 0 {
+		q.siftDown(0, last)
+	}
+	e.index = -1
 	q.now = e.when
 	q.Executed++
 	e.fn()
+	if e.recycle && e.index < 0 && e.freeIdx < 0 {
+		q.toFree(e)
+	}
 	return true
 }
 
@@ -174,8 +190,9 @@ func (q *EventQueue) Run() {
 }
 
 // RunUntil dispatches events with tick <= limit. Events beyond the
-// limit stay queued; the current time advances to the limit if the
-// queue outlived it, so repeated RunUntil calls observe monotonic time.
+// limit stay queued; the current time advances to the limit whether
+// the queue outlived it or drained before it, so repeated RunUntil
+// calls observe monotonic time.
 func (q *EventQueue) RunUntil(limit Tick) {
 	q.stopped = false
 	for !q.stopped {
@@ -187,10 +204,108 @@ func (q *EventQueue) RunUntil(limit Tick) {
 		}
 		q.Step()
 	}
-	if q.now < limit && len(q.heap) > 0 {
+	if q.now < limit {
 		q.now = limit
 	}
 }
 
 // Stop makes a Run/RunUntil in progress return after the current event.
 func (q *EventQueue) Stop() { q.stopped = true }
+
+// less reports whether a dispatches strictly before b: earlier tick
+// first, then lower priority band, then FIFO by sequence number.
+func eventLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+// siftUp moves e (logically at index i, slot not yet written) toward
+// the root until its parent dispatches no later than it does.
+func (q *EventQueue) siftUp(i int, e *Event) {
+	h := q.heap
+	for i > 0 {
+		pi := (i - 1) >> 2
+		p := h[pi]
+		if !eventLess(e, p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = pi
+	}
+	h[i] = e
+	e.index = i
+}
+
+// siftDown places e at index i, pushing it toward the leaves while any
+// child dispatches earlier.
+func (q *EventQueue) siftDown(i int, e *Event) {
+	h := q.heap
+	n := len(h)
+	for {
+		ci := i<<2 + 1
+		if ci >= n {
+			break
+		}
+		end := ci + 4
+		if end > n {
+			end = n
+		}
+		min := ci
+		c := h[ci]
+		for j := ci + 1; j < end; j++ {
+			if eventLess(h[j], c) {
+				min = j
+				c = h[j]
+			}
+		}
+		if !eventLess(c, e) {
+			break
+		}
+		h[i] = c
+		c.index = i
+		i = min
+	}
+	h[i] = e
+	e.index = i
+}
+
+// remove deletes e from an arbitrary heap position.
+func (q *EventQueue) remove(e *Event) {
+	h := q.heap
+	i := e.index
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	q.heap = h[:n]
+	e.index = -1
+	if i == n {
+		return
+	}
+	q.siftDown(i, last)
+	if last.index == i {
+		q.siftUp(i, last)
+	}
+}
+
+// toFree pushes a dead one-shot event onto the freelist.
+func (q *EventQueue) toFree(e *Event) {
+	e.freeIdx = len(q.free)
+	q.free = append(q.free, e)
+}
+
+// unfree removes e from the freelist (swap with the tail).
+func (q *EventQueue) unfree(e *Event) {
+	n := len(q.free) - 1
+	moved := q.free[n]
+	q.free[e.freeIdx] = moved
+	moved.freeIdx = e.freeIdx
+	q.free[n] = nil
+	q.free = q.free[:n]
+	e.freeIdx = -1
+}

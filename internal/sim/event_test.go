@@ -124,6 +124,30 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// RunUntil must advance time to the limit even when the queue drains
+// before reaching it — repeated RunUntil calls observe monotonic time
+// regardless of whether events remain.
+func TestRunUntilDrainedAdvancesToLimit(t *testing.T) {
+	q := NewEventQueue()
+	fired := false
+	q.Schedule(func() { fired = true }, 5)
+	q.RunUntil(20)
+	if !fired {
+		t.Fatal("event at 5 did not fire")
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now() = %v after RunUntil(20) drained the queue, want 20", q.Now())
+	}
+	// An empty queue must advance too.
+	q.RunUntil(30)
+	if q.Now() != 30 {
+		t.Fatalf("Now() = %v after RunUntil(30) on an empty queue, want 30", q.Now())
+	}
+	// Scheduling at the post-drain time must not panic as "in the past".
+	q.Schedule(func() {}, 30)
+	q.Run()
+}
+
 func TestStopDuringRun(t *testing.T) {
 	q := NewEventQueue()
 	n := 0

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// The race detector instruments the allocator and sync.Pool fast
+// paths, so allocation counts are not meaningful under -race.
+const raceEnabled = true

@@ -170,8 +170,9 @@ type SMMU struct {
 	stallTime    *stats.Scalar
 }
 
-type walkState struct{ w *walk }
-type passThrough struct{ issued sim.Tick }
+// passThrough is stacked on translated (or bypassed) requests; it is
+// zero-size so boxing it into the packet state stack never allocates.
+type passThrough struct{}
 
 // New builds an SMMU.
 func New(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config) *SMMU {
@@ -341,7 +342,7 @@ func (s *SMMU) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool {
 	now := s.eq.Now()
 
 	if s.cfg.Bypass {
-		pkt.PushState(passThrough{issued: now})
+		pkt.PushState(passThrough{})
 		s.memQ.Schedule(pkt, now)
 		return true
 	}
@@ -392,7 +393,7 @@ func (s *SMMU) RecvTimingReq(port *mem.ResponsePort, pkt *mem.Packet) bool {
 func (s *SMMU) finishTranslation(pkt *mem.Packet, vpn, ppn uint64, now sim.Tick, lat sim.Tick) {
 	pkt.Vaddr = pkt.Addr
 	pkt.Addr = ppn*PageBytes + pkt.Addr%PageBytes
-	pkt.PushState(passThrough{issued: now})
+	pkt.PushState(passThrough{})
 	s.transLat.Sample(float64(lat) / float64(sim.Nanosecond))
 	s.stallTime.Add(float64(lat) / float64(sim.Nanosecond))
 	s.memQ.Schedule(pkt, now+lat)
@@ -402,7 +403,7 @@ func (s *SMMU) finishTranslation(pkt *mem.Packet, vpn, ppn uint64, now sim.Tick,
 func (s *SMMU) stepWalk(w *walk) {
 	ptAddr := w.base + vaIndex(w.vpn*PageBytes, w.level)*PTESize
 	rd := mem.NewRead(ptAddr, PTESize)
-	rd.PushState(walkState{w: w})
+	rd.PushState(w)
 	s.memQ.Schedule(rd, s.eq.Now()+s.cfg.TLBLatency)
 }
 
@@ -418,8 +419,9 @@ func (s *SMMU) RecvTimingResp(port *mem.RequestPort, pkt *mem.Packet) bool {
 		s.respQ.Schedule(pkt, s.eq.Now())
 		s.retryAfterFree()
 		return true
-	case walkState:
-		s.walkStepDone(st.w, pkt)
+	case *walk:
+		s.walkStepDone(st, pkt)
+		pkt.Release() // PTE read originated by the walker; consumed here
 		return true
 	default:
 		panic(fmt.Sprintf("smmu %s: unexpected response state %T", s.name, st))
@@ -457,7 +459,7 @@ func (s *SMMU) walkStepDone(w *walk, pte *mem.Packet) {
 		s.stallTime.Add(float64(lat) / float64(sim.Nanosecond))
 		pkt.Vaddr = pkt.Addr
 		pkt.Addr = ppn*PageBytes + pkt.Addr%PageBytes
-		pkt.PushState(passThrough{issued: now})
+		pkt.PushState(passThrough{})
 		s.memQ.Schedule(pkt, now+s.cfg.UTLBLatency)
 	}
 	delete(s.walks, w.vpn)

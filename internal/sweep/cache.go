@@ -99,19 +99,38 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
 }
 
+// Ref is a precomputed cache reference: the salted key and the entry
+// path for one fingerprint, hashed once and reusable across GetRef and
+// PutRef (the engine's miss path would otherwise hash twice). Compute
+// it after Salt is set; a Ref does not track later Salt changes.
+type Ref struct {
+	key  string
+	path string
+}
+
+// Ref precomputes the cache reference for a fingerprint.
+func (c *Cache) Ref(fingerprint string) Ref {
+	key := c.key(fingerprint)
+	return Ref{key: key, path: c.path(key)}
+}
+
 // Get returns the cached outcome for the fingerprint. Unreadable,
 // malformed, or mismatching entries count as misses; a mismatching or
 // malformed file additionally counts as an error and will be
 // overwritten by the next Put.
 func (c *Cache) Get(fingerprint string) (Outcome, bool) {
-	key := c.key(fingerprint)
-	data, err := os.ReadFile(c.path(key))
+	return c.GetRef(c.Ref(fingerprint))
+}
+
+// GetRef is Get for an already-computed reference.
+func (c *Cache) GetRef(r Ref) (Outcome, bool) {
+	data, err := os.ReadFile(r.path)
 	if err != nil {
 		c.count(&c.misses)
 		return Outcome{}, false
 	}
 	var e entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Fingerprint != key {
+	if err := json.Unmarshal(data, &e); err != nil || e.Fingerprint != r.key {
 		c.count(&c.errors)
 		c.count(&c.misses)
 		return Outcome{}, false
@@ -124,8 +143,12 @@ func (c *Cache) Get(fingerprint string) (Outcome, bool) {
 // in the error counter but otherwise ignored: a broken cache must
 // never break the sweep.
 func (c *Cache) Put(fingerprint string, out Outcome) {
-	key := c.key(fingerprint)
-	data, err := json.Marshal(entry{Fingerprint: key, Outcome: out})
+	c.PutRef(c.Ref(fingerprint), out)
+}
+
+// PutRef is Put for an already-computed reference.
+func (c *Cache) PutRef(r Ref, out Outcome) {
+	data, err := json.Marshal(entry{Fingerprint: r.key, Outcome: out})
 	if err != nil {
 		c.count(&c.errors)
 		return
@@ -142,7 +165,7 @@ func (c *Cache) Put(fingerprint string, out Outcome) {
 		c.count(&c.errors)
 		return
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), r.path); err != nil {
 		os.Remove(tmp.Name())
 		c.count(&c.errors)
 	}

@@ -111,10 +111,16 @@ func (p *Profile) WallByDigest(digest string) (time.Duration, bool) {
 // and negative walls are ignored (cache hits complete in ~zero time
 // and must not poison the estimate).
 func (p *Profile) Observe(fingerprint string, wall time.Duration) {
+	p.ObserveDigest(Digest(fingerprint), wall)
+}
+
+// ObserveDigest is Observe keyed by an already-computed fingerprint
+// digest, for callers that memoize the hash per point.
+func (p *Profile) ObserveDigest(digest string, wall time.Duration) {
 	if wall <= 0 {
 		return
 	}
-	p.fold(Digest(fingerprint), wall.Nanoseconds())
+	p.fold(digest, wall.Nanoseconds())
 }
 
 // fold applies the EWMA update for one digest.

@@ -11,10 +11,10 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -151,7 +151,7 @@ func (e *Engine) runPoint(i int, p Point) Outcome {
 		}
 	}()
 	if e.Flight == nil || p.Fingerprint == "" {
-		res := e.execute(i, p)
+		res := e.execute(i, p, "")
 		e.report(res)
 		return res.Outcome
 	}
@@ -159,10 +159,12 @@ func (e *Engine) runPoint(i int, p Point) Outcome {
 	// flight, so a concurrent engine that misses on the same point
 	// waits for this one instead of simulating it again — and a leader
 	// that starts just after a previous flight for the key landed
-	// still sees that result as an ordinary cache hit.
+	// still sees that result as an ordinary cache hit. The digest is
+	// hashed once here and shared with the profile observation.
 	var res Result
-	out, led := e.Flight.Do(Digest(p.Fingerprint), func() Outcome {
-		res = e.execute(i, p)
+	dig := Digest(p.Fingerprint)
+	out, led := e.Flight.Do(dig, func() Outcome {
+		res = e.execute(i, p, dig)
 		return res.Outcome
 	})
 	if !led {
@@ -173,10 +175,14 @@ func (e *Engine) runPoint(i int, p Point) Outcome {
 }
 
 // execute runs or recalls one point without reporting — runPoint picks
-// the Result it publishes.
-func (e *Engine) execute(i int, p Point) Result {
+// the Result it publishes. dig, when non-empty, is the point's
+// already-computed fingerprint digest (memoized by runPoint so the
+// flight and the profile share one hash).
+func (e *Engine) execute(i int, p Point, dig string) Result {
+	var ref Ref
 	if e.Cache != nil && p.Fingerprint != "" {
-		if out, ok := e.Cache.Get(p.Fingerprint); ok {
+		ref = e.Cache.Ref(p.Fingerprint)
+		if out, ok := e.Cache.GetRef(ref); ok {
 			return Result{Index: i, Key: p.Key, Outcome: out, Cached: true}
 		}
 	}
@@ -184,10 +190,13 @@ func (e *Engine) execute(i int, p Point) Result {
 	out := p.Run()
 	wall := e.now().Sub(start)
 	if e.Cache != nil && p.Fingerprint != "" {
-		e.Cache.Put(p.Fingerprint, out)
+		e.Cache.PutRef(ref, out)
 	}
 	if e.Profile != nil && p.Fingerprint != "" {
-		e.Profile.Observe(p.Fingerprint, wall)
+		if dig == "" {
+			dig = Digest(p.Fingerprint)
+		}
+		e.Profile.ObserveDigest(dig, wall)
 	}
 	return Result{Index: i, Key: p.Key, Outcome: out, Wall: wall}
 }
@@ -257,15 +266,35 @@ func (e *Engine) Run(points []Point) []Outcome {
 // interface-valued configuration must add a type tag part
 // (fmt.Sprintf("%T", v)) alongside the struct.
 func Fingerprint(parts ...any) string {
-	var sb strings.Builder
-	sb.WriteString(fingerprintVersion)
+	fb := fpBufPool.Get().(*fpBuf)
+	fb.buf.Reset()
+	fb.buf.WriteString(fingerprintVersion)
 	for _, p := range parts {
-		b, err := json.Marshal(p)
-		if err != nil {
+		fb.buf.WriteByte('\n')
+		// Encoding straight into the pooled buffer avoids the
+		// per-part []byte of json.Marshal; Encode appends a newline
+		// the format does not want, so trim it back off.
+		if err := fb.enc.Encode(p); err != nil {
+			fpBufPool.Put(fb)
 			panic(fmt.Sprintf("sweep: unencodable fingerprint part %T: %v", p, err))
 		}
-		sb.WriteByte('\n')
-		sb.Write(b)
+		fb.buf.Truncate(fb.buf.Len() - 1)
 	}
-	return sb.String()
+	s := fb.buf.String()
+	fpBufPool.Put(fb)
+	return s
 }
+
+// fpBuf is a reusable fingerprint encoding buffer; the encoder is
+// bound to the buffer once so each Fingerprint call costs only the
+// final string copy.
+type fpBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var fpBufPool = sync.Pool{New: func() any {
+	fb := &fpBuf{}
+	fb.enc = json.NewEncoder(&fb.buf)
+	return fb
+}}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -314,5 +315,47 @@ func TestEmptyFingerprintBypassesCache(t *testing.T) {
 	}
 	if hits, _, _ := cache.Stats(); hits != 0 {
 		t.Fatalf("cache recorded %d hits for uncacheable point", hits)
+	}
+}
+
+// TestFingerprintEncodingPinned pins the exact byte format of
+// Fingerprint — version header plus "\n"+JSON per part — because it is
+// on-disk cache key material: a drift here silently invalidates every
+// existing cache entry.
+func TestFingerprintEncodingPinned(t *testing.T) {
+	type cfg struct {
+		N    int
+		Name string
+	}
+	parts := []any{"gemm", 256, cfg{N: 3, Name: "a<b&c"}, []float64{1, 2.5}, nil}
+	want := "sweep/v1"
+	for _, p := range parts {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += "\n" + string(b)
+	}
+	if got := Fingerprint(parts...); got != want {
+		t.Fatalf("fingerprint encoding drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestCacheRefMatchesGetPut pins that the precomputed-Ref path and the
+// plain fingerprint path address the same on-disk entry.
+func TestCacheRefMatchesGetPut(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Salt = "s"
+	fp := Fingerprint("ref-point")
+	c.PutRef(c.Ref(fp), Outcome{Dur: 42})
+	if out, ok := c.Get(fp); !ok || out.Dur != 42 {
+		t.Fatalf("Get after PutRef = %v %v", out, ok)
+	}
+	c.Put(fp, Outcome{Dur: 7})
+	if out, ok := c.GetRef(c.Ref(fp)); !ok || out.Dur != 7 {
+		t.Fatalf("GetRef after Put = %v %v", out, ok)
 	}
 }
