@@ -114,6 +114,13 @@ fleetsmoke:
 servesmoke:
 	$(GO) test -count=1 -run '^TestServeSmokeDaemon$$' ./cmd/accesys
 
+# Parallel smoke: run the fig4 matrix partitioned into 4 tick-domains
+# and audit every point's divergence against the sequential loop via
+# the pareq command — the conservative barrier scheme must stay inside
+# the pinned band at the timing-exact default quantum.
+parallelsmoke:
+	$(GO) run ./cmd/accesys pareq -nocache -domains 4 -tol 0.05 testdata/fig4.json
+
 # Short native-fuzz pass: both parsers explore beyond their seed
 # corpora for FUZZTIME each. Crashers land under testdata/fuzz/ in the
 # failing package — commit them as regression seeds after fixing.
@@ -139,7 +146,7 @@ cover:
 equiv:
 	$(GO) run ./cmd/accesys equiv fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9
 
-ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke fuzz golden bench benchcheck cover
+ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke parallelsmoke fuzz golden bench benchcheck cover
 
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' .
@@ -150,7 +157,7 @@ BENCHFRESH_DIR := .benchfresh
 benchcheck:
 	@rm -rf $(BENCHFRESH_DIR) && mkdir -p $(BENCHFRESH_DIR)
 	BENCH_DIR=$(BENCHFRESH_DIR) $(GO) test -short -run '^$$' \
-		-bench 'SimulatorThroughput|SweepThroughput|ShardMerge' \
+		-bench 'SimulatorThroughput|SweepThroughput|ShardMerge|ParallelSpeedup' \
 		-benchtime=1x -count=3 .
 	$(GO) run ./cmd/benchcheck -baseline . -fresh $(BENCHFRESH_DIR) -tol $(BENCH_TOL)
 	@rm -rf $(BENCHFRESH_DIR)

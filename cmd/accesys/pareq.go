@@ -1,0 +1,120 @@
+package main
+
+// pareq is the parallel-vs-sequential divergence audit: it runs the
+// same expanded matrix through the sequential event loop and through a
+// partitioned (-domains N) build and reports the per-point relative
+// divergence of the primary duration metric. Conservative barrier
+// synchronization with a timing-exact quantum still diverges from the
+// sequential loop by the latency annotated on the domain cuts (the cut
+// turns a same-tick port hop into a PCIe/device-bus flight), so the
+// audit pins that band rather than demanding byte-identity — which
+// only `-domains 1` guarantees, and which the golden corpus pins
+// separately.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"accesys/internal/exp"
+	"accesys/internal/scenario"
+)
+
+func (a *app) cmdPareq(args []string) int {
+	fs := a.newFlagSet("pareq")
+	f := addSweepFlags(fs)
+	tol := fs.Float64("tol", 0.05, "fail when any point's relative divergence exceeds this")
+	fs.Usage = func() {
+		fmt.Fprintf(a.stderr, "usage: accesys pareq [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-domains N] [-quantum d] [-tol f] manifest.json|experiment ...\n")
+		fmt.Fprintf(a.stderr, "experiments: %s\n", strings.Join(exp.IDs(), " "))
+		fs.PrintDefaults()
+	}
+	if code := parse(fs, args); code >= 0 {
+		return code
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		fs.Usage()
+		return usageErr
+	}
+	if *tol <= 0 {
+		return a.errorf("-tol must be positive")
+	}
+
+	opt := a.options(f)
+	// The audit needs a partitioned side; default to the full ladder
+	// when the shared flag was left at its sequential default.
+	nd := opt.Domains
+	if nd <= 1 {
+		nd = 4
+	}
+
+	failed := false
+	for _, target := range targets {
+		sc, ok := exp.Matrix(target)
+		if !ok {
+			var err error
+			sc, err = scenario.Load(target)
+			if err != nil {
+				return a.errorf("%q is neither a built-in experiment nor a loadable manifest: %v", target, err)
+			}
+		}
+
+		seqRuns, err := sc.Expand(opt.Full)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		parRuns, err := sc.Expand(opt.Full)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		if len(seqRuns) == 0 {
+			return a.errorf("%s: empty matrix", sc.Name)
+		}
+		parOpt := opt
+		parOpt.Domains = nd
+		parOpt.Apply(parRuns)
+
+		seqOpt := opt
+		seqOpt.Domains = 1
+		seqOuts := seqOpt.Sweep(sc.Name+" seq", sc.Points(seqRuns))
+		parOuts := parOpt.Sweep(fmt.Sprintf("%s par%d", sc.Name, nd), sc.Points(parRuns))
+
+		var sum, worst float64
+		worstKey := ""
+		quantum := "exact"
+		if opt.Quantum > 0 {
+			quantum = opt.Quantum.String()
+		}
+		fmt.Fprintf(a.stdout, "pareq %s (domains=%d quantum=%s): %d points\n",
+			sc.Name, nd, quantum, len(seqOuts))
+		for i := range seqOuts {
+			s := float64(seqOuts[i].Dur)
+			p := float64(parOuts[i].Dur)
+			var rel float64
+			if s > 0 {
+				rel = math.Abs(p-s) / s
+			} else if p != 0 {
+				rel = math.Inf(1)
+			}
+			sum += rel
+			if rel > worst {
+				worst, worstKey = rel, seqRuns[i].Key
+			}
+			fmt.Fprintf(a.stdout, "  %-40s seq=%-12v par=%-12v %+.2f%%\n",
+				seqRuns[i].Key, seqOuts[i].Dur, parOuts[i].Dur, 100*(p-s)/s)
+		}
+		mean := sum / float64(len(seqOuts))
+		verdict := "PASS"
+		if worst > *tol {
+			verdict, failed = "FAIL", true
+		}
+		fmt.Fprintf(a.stdout, "  mean %.2f%%  max %.2f%% (%s)  tol %.1f%%: %s\n",
+			100*mean, 100*worst, worstKey, 100**tol, verdict)
+	}
+	a.finish(opt)
+	if failed {
+		return exitFail
+	}
+	return exitOK
+}

@@ -1,0 +1,117 @@
+package exp
+
+// Intra-point parallelism contract tests over the real fig2/fig4
+// matrices (size-capped so the suite stays fast enough to run under
+// -race, which is where the barrier protocol earns its keep):
+// partitioned runs must be reproducible run-to-run, -domains 1 must be
+// literally the sequential event loop, and the partitioned timing must
+// stay inside the pinned divergence band of the sequential results the
+// golden corpus protects.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"accesys/internal/core"
+	"accesys/internal/scenario"
+	"accesys/internal/sweep"
+)
+
+// parBand is the pinned divergence band for partitioned runs with the
+// timing-exact default quantum: the only systematic difference from
+// the sequential loop is the flight latency annotated on the domain
+// cuts, which observed runs keep well under 5%.
+const parBand = 0.05
+
+// miniMatrix expands a built-in scenario at quick scale and caps the
+// GEMM size and point count so a full sweep stays in test-suite
+// budget.
+func miniMatrix(t *testing.T, id string) (*scenario.Scenario, []scenario.Run) {
+	t.Helper()
+	sc := scenario.MustBuiltin(id)
+	runs, err := sc.Expand(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		if runs[i].N > 64 {
+			runs[i].N = 64
+		}
+	}
+	if len(runs) > 6 {
+		runs = runs[:6]
+	}
+	return sc, runs
+}
+
+// sweepMini runs the capped matrix under the given domain count.
+func sweepMini(t *testing.T, id string, domains int) ([]scenario.Run, []sweep.Outcome) {
+	t.Helper()
+	sc, runs := miniMatrix(t, id)
+	opt := Options{Jobs: 4, Domains: domains}
+	opt.Apply(runs)
+	return runs, opt.Sweep(fmt.Sprintf("%s-d%d", id, domains), sc.Points(runs))
+}
+
+// TestPartitionedRunsAreReproducible: for a fixed (domains, quantum),
+// two executions of the fig2/fig4 matrices are byte-identical — the
+// determinism half of the conservative scheme's contract.
+func TestPartitionedRunsAreReproducible(t *testing.T) {
+	for _, id := range []string{"fig2", "fig4"} {
+		_, a := sweepMini(t, id, 4)
+		_, b := sweepMini(t, id, 4)
+		if !bytes.Equal(render(a), render(b)) {
+			t.Fatalf("%s: partitioned rows differ across identical runs:\n%s---\n%s",
+				id, render(a), render(b))
+		}
+	}
+}
+
+// TestDomainsOneIsTheSequentialLoop: -domains 1 must not merely
+// approximate the sequential simulator — it must be it. No coordinator
+// is built and the timing is bit-identical, which is what keeps the
+// golden corpus authoritative for default runs.
+func TestDomainsOneIsTheSequentialLoop(t *testing.T) {
+	base, bSys, _ := scenario.TimeGEMM(core.PCIe8GB(), 64)
+	cfg := core.PCIe8GB()
+	cfg.Domains = 1
+	one, oSys, _ := scenario.TimeGEMM(cfg, 64)
+	if bSys.Par != nil || oSys.Par != nil {
+		t.Fatal("sequential build constructed a parallel coordinator")
+	}
+	if base != one {
+		t.Fatalf("Domains=1 duration %v differs from default %v", one, base)
+	}
+	var bStats, oStats bytes.Buffer
+	if err := bSys.Stats.Dump(&bStats); err != nil {
+		t.Fatal(err)
+	}
+	if err := oSys.Stats.Dump(&oStats); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bStats.Bytes(), oStats.Bytes()) {
+		t.Fatal("Domains=1 stats dump differs from the default build")
+	}
+}
+
+// TestPartitionedDivergenceWithinBand: the audited divergence of
+// partitioned timing against the sequential results stays inside the
+// pinned band on the fig2/fig4 matrices.
+func TestPartitionedDivergenceWithinBand(t *testing.T) {
+	for _, id := range []string{"fig2", "fig4"} {
+		runs, seq := sweepMini(t, id, 1)
+		_, par := sweepMini(t, id, 4)
+		for i := range seq {
+			s, p := float64(seq[i].Dur), float64(par[i].Dur)
+			if s == 0 {
+				t.Fatalf("%s point %s: zero sequential duration", id, runs[i].Key)
+			}
+			if rel := math.Abs(p-s) / s; rel > parBand {
+				t.Errorf("%s point %s: partitioned %v vs sequential %v diverges %.2f%% (band %.0f%%)",
+					id, runs[i].Key, par[i].Dur, seq[i].Dur, 100*rel, 100*parBand)
+			}
+		}
+	}
+}

@@ -226,6 +226,19 @@ type Scheduler struct {
 	// RetireAfter takes a worker out of rotation after this many
 	// consecutive failures (default 2).
 	RetireAfter int
+	// Clock supplies the wall-clock readings behind per-shard wall
+	// reporting, so scheduling tests run on a fake clock. It is read
+	// concurrently from every worker goroutine and must be safe for
+	// that. Nil means time.Now.
+	Clock func() time.Time
+}
+
+// now reads the scheduler's clock.
+func (s *Scheduler) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
 }
 
 func (s *Scheduler) logf(format string, args ...any) {
@@ -293,9 +306,9 @@ func (s *Scheduler) Run(ctx context.Context) (*Report, error) {
 		jobs[w] = make(chan Job, 1)
 		go func(w int) {
 			for job := range jobs[w] {
-				start := time.Now()
+				start := s.now()
 				err := s.Workers[w].Run(ctx, job)
-				results <- runResult{worker: w, shard: job.Shard, err: err, wall: time.Since(start)}
+				results <- runResult{worker: w, shard: job.Shard, err: err, wall: s.now().Sub(start)}
 			}
 		}(w)
 	}

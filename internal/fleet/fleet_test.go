@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"accesys/internal/shard"
 	"accesys/internal/sim"
@@ -400,5 +401,38 @@ func TestPrefixWriterSplitsLines(t *testing.T) {
 	want := "p: one\np: two\np: three\n"
 	if sb.String() != want {
 		t.Fatalf("prefixed output:\n%q\nwant\n%q", sb.String(), want)
+	}
+}
+
+// TestSchedulerWallsOnInjectedClock pins the per-shard wall times in
+// the fleet report to an injected clock: with a fake advancing a fixed
+// step per reading, every successful shard's wall is an exact multiple
+// of the step and the host clock is never consulted. The clock is read
+// concurrently from every worker goroutine, so -race patrols the
+// required thread-safety too.
+func TestSchedulerWallsOnInjectedClock(t *testing.T) {
+	s, _ := newScheduler(t, 12, 3, inProcessWorkers(3))
+	const step = 50 * time.Millisecond
+	base := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	calls := 0
+	s.Clock = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		return base.Add(time.Duration(calls) * step)
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two readings per dispatched shard.
+	if want := 2 * len(rep.Shards); calls != want {
+		t.Fatalf("clock read %d times, want %d (2 per shard)", calls, want)
+	}
+	for k, sr := range rep.Shards {
+		if sr.WallNs <= 0 || sr.WallNs%step.Nanoseconds() != 0 {
+			t.Fatalf("shard %d wall %dns is not a positive multiple of the fake step", k, sr.WallNs)
+		}
 	}
 }

@@ -1,0 +1,186 @@
+package mem
+
+import (
+	"accesys/internal/sim"
+)
+
+// Cross is a latency-annotated, credit-bounded channel joining a
+// request port in one tick-domain to a response port in another — the
+// cut a partitioned build inserts where a plain Bind would join two
+// components that now tick concurrently. Each direction is a bounded
+// inbox: the sender consumes a credit when a packet departs and gets
+// it back (one channel latency later) when the far side accepts the
+// packet, so at most depth transactions are in flight per direction
+// and backpressure crosses the cut exactly like the retry protocol
+// does inside a domain.
+//
+// The halves never touch each other's state directly: everything that
+// crosses the boundary — packets, credit returns — travels through
+// Domain.Post and is delivered at a window barrier, which is what
+// makes the cut safe under concurrent domain execution and
+// deterministic for a fixed partition and quantum.
+type Cross struct {
+	src *sim.Domain // requestor side
+	dst *sim.Domain // responder side
+	lat sim.Tick
+	cap int
+
+	// Requestor half (src domain): faces the original RequestPort.
+	ars        *ResponsePort
+	reqCredits int
+	reqWaiting bool // rq refused for lack of credit; owes SendRetryReq
+	respQ      []*Packet
+	respStall  bool // rq's owner refused a response; awaiting RecvRetryResp
+
+	// Responder half (dst domain): faces the original ResponsePort.
+	brq         *RequestPort
+	reqQ        []*Packet
+	reqStall    bool // rs's owner refused a request; awaiting RecvRetryReq
+	respCredits int
+	respWaiting bool // rs refused for lack of credit; owes SendRetryResp
+
+	// Prebound credit-return thunks so steady-state crossings do not
+	// allocate them per packet.
+	reqCreditFn  func()
+	respCreditFn func()
+}
+
+// xSrc is the Cross's requestor-side persona: the Responder the
+// original requestor's port is bound to.
+type xSrc struct{ c *Cross }
+
+// xDst is the Cross's responder-side persona: the Requestor the
+// original responder's port is bound to.
+type xDst struct{ c *Cross }
+
+// CrossBind connects rq (owned by a component in domain src) to rs
+// (owned by a component in domain dst) through a cross-domain channel
+// with the given one-way latency and per-direction in-flight bound.
+// Both ports must be unbound, exactly as with Bind. A depth below 1
+// defaults to 16.
+func CrossBind(src, dst *sim.Domain, rq *RequestPort, rs *ResponsePort, lat sim.Tick, depth int) *Cross {
+	if depth < 1 {
+		depth = 16
+	}
+	c := &Cross{
+		src: src, dst: dst, lat: lat, cap: depth,
+		reqCredits:  depth,
+		respCredits: depth,
+	}
+	c.ars = NewResponsePort(rs.Name()+".x", xSrc{c})
+	c.brq = NewRequestPort(rq.Name()+".x", xDst{c})
+	c.reqCreditFn = c.reqCredit
+	c.respCreditFn = c.respCredit
+	Bind(rq, c.ars)
+	Bind(c.brq, rs)
+	return c
+}
+
+// --- requestor half (runs in the src domain) ------------------------
+
+// RecvTimingReq implements Responder for the requestor half: a request
+// departs toward the responder domain, or is refused when the channel
+// is full.
+func (x xSrc) RecvTimingReq(port *ResponsePort, pkt *Packet) bool {
+	c := x.c
+	if c.reqCredits == 0 {
+		c.reqWaiting = true
+		return false
+	}
+	c.reqCredits--
+	c.src.Post(c.dst, c.src.EQ.Now()+c.lat, func() { c.arriveReq(pkt) })
+	return true
+}
+
+// RecvRetryResp implements Responder for the requestor half: the
+// requestor can accept responses again.
+func (x xSrc) RecvRetryResp(port *ResponsePort) {
+	x.c.respStall = false
+	x.c.pushResps()
+}
+
+// reqCredit runs in the src domain when the responder half accepted a
+// request: the channel slot is free again.
+func (c *Cross) reqCredit() {
+	c.reqCredits++
+	if c.reqWaiting {
+		c.reqWaiting = false
+		c.ars.SendRetryReq()
+	}
+}
+
+// arriveResp runs in the src domain when a response crosses back.
+func (c *Cross) arriveResp(pkt *Packet) {
+	c.respQ = append(c.respQ, pkt)
+	c.pushResps()
+}
+
+// pushResps delivers queued responses to the original requestor in
+// FIFO order, returning a response credit per acceptance.
+func (c *Cross) pushResps() {
+	for !c.respStall && len(c.respQ) > 0 {
+		pkt := c.respQ[0]
+		if !c.ars.SendTimingResp(pkt) {
+			c.respStall = true
+			return
+		}
+		c.respQ = append(c.respQ[:0], c.respQ[1:]...)
+		c.src.Post(c.dst, c.src.EQ.Now()+c.lat, c.respCreditFn)
+	}
+}
+
+// --- responder half (runs in the dst domain) ------------------------
+
+// arriveReq runs in the dst domain when a request crosses over.
+func (c *Cross) arriveReq(pkt *Packet) {
+	c.reqQ = append(c.reqQ, pkt)
+	c.pushReqs()
+}
+
+// pushReqs delivers queued requests to the original responder in FIFO
+// order, returning a request credit per acceptance.
+func (c *Cross) pushReqs() {
+	for !c.reqStall && len(c.reqQ) > 0 {
+		pkt := c.reqQ[0]
+		if !c.brq.SendTimingReq(pkt) {
+			c.reqStall = true
+			return
+		}
+		c.reqQ = append(c.reqQ[:0], c.reqQ[1:]...)
+		c.dst.Post(c.src, c.dst.EQ.Now()+c.lat, c.reqCreditFn)
+	}
+}
+
+// RecvTimingResp implements Requestor for the responder half: a
+// response departs toward the requestor domain, or is refused when the
+// return channel is full.
+func (x xDst) RecvTimingResp(port *RequestPort, pkt *Packet) bool {
+	c := x.c
+	if c.respCredits == 0 {
+		c.respWaiting = true
+		return false
+	}
+	c.respCredits--
+	c.dst.Post(c.src, c.dst.EQ.Now()+c.lat, func() { c.arriveResp(pkt) })
+	return true
+}
+
+// RecvRetryReq implements Requestor for the responder half: the
+// responder can accept requests again.
+func (x xDst) RecvRetryReq(port *RequestPort) {
+	x.c.reqStall = false
+	x.c.pushReqs()
+}
+
+// respCredit runs in the dst domain when the requestor half accepted a
+// response.
+func (c *Cross) respCredit() {
+	c.respCredits++
+	if c.respWaiting {
+		c.respWaiting = false
+		c.brq.SendRetryResp()
+	}
+}
+
+var _ Responder = xSrc{}
+var _ Requestor = xDst{}

@@ -1,0 +1,216 @@
+package mem
+
+// CrossBind protocol tests: the cross-domain channel must preserve
+// FIFO order in both directions, bound in-flight transactions by its
+// credit depth, and interoperate with the retry protocol on both
+// sides (a refusing responder stalls the channel without losing
+// packets; a refusing requestor stalls the response path the same
+// way). The harnesses run under a real Parallel coordinator so every
+// crossing takes the production outbox/barrier path.
+
+import (
+	"testing"
+
+	"accesys/internal/sim"
+)
+
+// xbSender drives n requests through a RequestPort under the retry
+// protocol and records responses in arrival order.
+type xbSender struct {
+	port    *RequestPort
+	todo    []*Packet
+	stalled bool
+	got     []uint64 // response packet IDs in arrival order
+
+	// refuseFirst makes the sender refuse the first response delivery
+	// to exercise the channel's response-retry path.
+	refuseFirst bool
+	refused     bool
+	eq          *sim.EventQueue
+}
+
+func (s *xbSender) RecvTimingResp(_ *RequestPort, pkt *Packet) bool {
+	if s.refuseFirst && !s.refused {
+		s.refused = true
+		// Re-open the response channel a few ticks later.
+		s.eq.ScheduleAfter(func() { s.port.SendRetryResp() }, 3)
+		return false
+	}
+	s.got = append(s.got, pkt.ID)
+	return true
+}
+
+func (s *xbSender) RecvRetryReq(_ *RequestPort) {
+	s.stalled = false
+	s.push()
+}
+
+func (s *xbSender) push() {
+	for !s.stalled && len(s.todo) > 0 {
+		if !s.port.SendTimingReq(s.todo[0]) {
+			s.stalled = true
+			return
+		}
+		s.todo = s.todo[1:]
+	}
+}
+
+// xbResponder accepts requests (optionally refusing every refuseNth
+// first offer) and returns each response delay ticks later, itself
+// honoring response-side retries.
+type xbResponder struct {
+	port    *ResponsePort
+	eq      *sim.EventQueue
+	delay   sim.Tick
+	seen    []uint64 // request packet IDs in arrival order
+	pending []*Packet
+	stalled bool
+
+	refuseNth int
+	offers    int
+
+	// deaf makes the responder refuse everything and never retry —
+	// the credit-exhaustion harness.
+	deaf bool
+}
+
+func (r *xbResponder) RecvTimingReq(_ *ResponsePort, pkt *Packet) bool {
+	if r.deaf {
+		return false
+	}
+	r.offers++
+	if r.refuseNth > 0 && r.offers%r.refuseNth == 0 {
+		r.eq.ScheduleAfter(func() { r.port.SendRetryReq() }, 2)
+		return false
+	}
+	r.seen = append(r.seen, pkt.ID)
+	r.eq.ScheduleAfter(func() {
+		pkt.MakeResponse()
+		r.pending = append(r.pending, pkt)
+		r.pushResps()
+	}, r.delay)
+	return true
+}
+
+func (r *xbResponder) RecvRetryResp(_ *ResponsePort) {
+	r.stalled = false
+	r.pushResps()
+}
+
+func (r *xbResponder) pushResps() {
+	for !r.stalled && len(r.pending) > 0 {
+		if !r.port.SendTimingResp(r.pending[0]) {
+			r.stalled = true
+			return
+		}
+		r.pending = r.pending[1:]
+	}
+}
+
+// crossRig wires a sender in one domain to a responder in another
+// through CrossBind and returns everything the tests poke at.
+func crossRig(lat sim.Tick, depth, npkts int) (*sim.Parallel, *xbSender, *xbResponder, []uint64) {
+	p := sim.NewParallel(lat)
+	src := p.AddDomain("src")
+	dst := p.AddDomain("dst")
+
+	snd := &xbSender{eq: src.EQ}
+	snd.port = NewRequestPort("t.rq", snd)
+	rsp := &xbResponder{eq: dst.EQ, delay: 4}
+	rsp.port = NewResponsePort("t.rs", rsp)
+	CrossBind(src, dst, snd.port, rsp.port, lat, depth)
+
+	ids := make([]uint64, npkts)
+	for i := range ids {
+		pkt := NewRead(uint64(i)*64, 64)
+		ids[i] = pkt.ID
+		snd.todo = append(snd.todo, pkt)
+	}
+	src.EQ.Schedule(func() { snd.push() }, 1)
+	return p, snd, rsp, ids
+}
+
+// TestCrossBindDeliversAllInFIFOOrder: every request crosses, every
+// response returns, both in issue order, with more packets than the
+// channel has credits.
+func TestCrossBindDeliversAllInFIFOOrder(t *testing.T) {
+	const depth, n = 4, 32
+	p, snd, rsp, ids := crossRig(10, depth, n)
+	p.Run()
+
+	if len(rsp.seen) != n || len(snd.got) != n {
+		t.Fatalf("responder saw %d, sender got %d, want %d each", len(rsp.seen), len(snd.got), n)
+	}
+	for i := range ids {
+		if rsp.seen[i] != ids[i] {
+			t.Fatalf("request %d arrived as id %d, want %d (FIFO)", i, rsp.seen[i], ids[i])
+		}
+		if snd.got[i] != ids[i] {
+			t.Fatalf("response %d arrived as id %d, want %d (FIFO)", i, snd.got[i], ids[i])
+		}
+	}
+}
+
+// TestCrossBindBoundsInFlightByDepth: a responder that refuses forever
+// strands at most depth requests in the channel; the sender stalls
+// with the rest unsent, and nothing is lost or duplicated.
+func TestCrossBindBoundsInFlightByDepth(t *testing.T) {
+	const depth, n = 4, 20
+	p, snd, rsp, _ := crossRig(10, depth, n)
+	rsp.deaf = true
+	p.Run()
+
+	if sent := n - len(snd.todo); sent != depth {
+		t.Fatalf("sender pushed %d packets into a depth-%d channel", sent, depth)
+	}
+	if !snd.stalled {
+		t.Fatal("sender is not stalled waiting for a credit retry")
+	}
+	if len(rsp.seen) != 0 {
+		t.Fatalf("deaf responder accepted %d requests", len(rsp.seen))
+	}
+}
+
+// TestCrossBindSurvivesResponderRetries: a responder that refuses
+// every 3rd offer (with a later retry) still receives everything in
+// order.
+func TestCrossBindSurvivesResponderRetries(t *testing.T) {
+	const depth, n = 4, 24
+	p, snd, rsp, ids := crossRig(10, depth, n)
+	rsp.refuseNth = 3
+	p.Run()
+
+	if len(rsp.seen) != n || len(snd.got) != n {
+		t.Fatalf("responder saw %d, sender got %d, want %d each", len(rsp.seen), len(snd.got), n)
+	}
+	for i := range ids {
+		if rsp.seen[i] != ids[i] || snd.got[i] != ids[i] {
+			t.Fatalf("order broken at %d under responder retries", i)
+		}
+	}
+}
+
+// TestCrossBindSurvivesRequestorRefusingResponse: the requestor
+// refusing a response delivery stalls the return path until its
+// SendRetryResp, losing nothing.
+func TestCrossBindSurvivesRequestorRefusingResponse(t *testing.T) {
+	const depth, n = 4, 12
+	p, snd, _, ids := crossRig(10, depth, n)
+	snd.refuseFirst = true
+	p.Run()
+
+	if len(snd.got) != n {
+		t.Fatalf("sender got %d responses, want %d", len(snd.got), n)
+	}
+	for i := range ids {
+		if snd.got[i] != ids[i] {
+			t.Fatalf("response order broken at %d after a refused delivery", i)
+		}
+	}
+	if !snd.refused {
+		t.Fatal("harness never exercised the refusal")
+	}
+}
+
+var _ Requestor = (*xbSender)(nil)
+var _ Responder = (*xbResponder)(nil)

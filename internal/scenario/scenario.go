@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"accesys/internal/core"
+	"accesys/internal/sim"
 	"accesys/internal/sweep"
 	"accesys/internal/workload"
 )
@@ -523,6 +524,29 @@ type Options struct {
 	// per-job progress counters. It composes with, and runs after, the
 	// verbose progress printer.
 	OnResult func(sweep.Result)
+	// Domains partitions every built system into that many concurrently
+	// ticking event-loop domains under conservative barrier sync
+	// (core.Config.Domains); <= 1 keeps the sequential loop whose
+	// results the golden corpus pins.
+	Domains int
+	// Quantum overrides the barrier window for Domains > 1 (0 = the
+	// build's minimum cross-domain channel latency, the timing-exact
+	// default).
+	Quantum sim.Tick
+}
+
+// Apply stamps the options' simulation-engine knobs (domain count and
+// quantum) onto every expanded run. The fields live in each run's
+// core.Config, so partitioned points fingerprint differently from
+// sequential ones and can never alias their cache entries.
+func (o Options) Apply(runs []Run) {
+	if o.Domains <= 1 {
+		return
+	}
+	for i := range runs {
+		runs[i].Cfg.Domains = o.Domains
+		runs[i].Cfg.Quantum = o.Quantum
+	}
 }
 
 // Logf writes a progress line when verbose output is enabled.
@@ -575,6 +599,7 @@ func (s *Scenario) Run(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	o.Apply(runs)
 	outs := o.Sweep(s.Name, s.Points(runs))
 	return s.Render(o.Full, runs, outs)
 }

@@ -56,6 +56,19 @@ type Worker struct {
 	// OnResult, when non-nil, observes each completed point (progress
 	// reporting). Calls are serialised by the engine.
 	OnResult func(sweep.Result)
+	// Clock supplies the wall-clock readings behind the summary's
+	// WallNs and the engine's per-point walls (which feed the weighted
+	// partitioner's profile), so scheduling tests run on a fake clock.
+	// Nil means time.Now.
+	Clock func() time.Time
+}
+
+// now reads the worker's clock.
+func (w *Worker) now() time.Time {
+	if w.Clock != nil {
+		return w.Clock()
+	}
+	return time.Now()
 }
 
 // Run executes shard k of the plan. points must be the same expansion
@@ -101,7 +114,7 @@ func (w *Worker) Run(plan *Plan, k int, points []sweep.Point) (*Summary, error) 
 		Salt:     cache.Salt,
 		Points:   len(slice),
 	}
-	eng := &sweep.Engine{Jobs: w.Jobs, Cache: cache, Profile: prof, OnResult: func(r sweep.Result) {
+	eng := &sweep.Engine{Jobs: w.Jobs, Cache: cache, Profile: prof, Clock: w.Clock, OnResult: func(r sweep.Result) {
 		if r.Cached {
 			sum.Warm++
 		} else {
@@ -111,9 +124,9 @@ func (w *Worker) Run(plan *Plan, k int, points []sweep.Point) (*Summary, error) 
 			w.OnResult(r)
 		}
 	}}
-	start := time.Now()
+	start := w.now()
 	eng.Run(slice)
-	sum.WallNs = time.Since(start).Nanoseconds()
+	sum.WallNs = w.now().Sub(start).Nanoseconds()
 
 	if err := cache.FlushCounters(); err != nil {
 		return nil, fmt.Errorf("shard: persisting counters: %v", err)

@@ -341,3 +341,55 @@ func TestMergeDetectsDivergentOutcomes(t *testing.T) {
 		t.Fatalf("divergent payloads merged: %v", err)
 	}
 }
+
+// TestWorkerRunsOnInjectedClock pins the worker's wall accounting —
+// the shard.json WallNs and the per-point walls feeding the weighted
+// partitioner's profile — to an injected clock: every reading comes
+// from the fake, each cold point observes exactly one clock step in
+// the profile, and no wall ever touches the host clock.
+func TestWorkerRunsOnInjectedClock(t *testing.T) {
+	pts := fakePoints(6, nil)
+	plan := mustPartition(t, pts, 2)
+	dir := t.TempDir()
+
+	const step = 100 * time.Millisecond
+	base := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	calls := 0
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		return base.Add(time.Duration(calls) * step)
+	}
+
+	w := &Worker{Dir: dir, Jobs: 1, Clock: clock}
+	sum, err := w.Run(plan, 0, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker reads the clock twice itself; every other reading is
+	// the engine timing cold points (two per point under Jobs=1).
+	wantCalls := 2 + 2*sum.Cold
+	if calls != wantCalls {
+		t.Fatalf("clock read %d times, want %d (2 worker + 2 per cold point)", calls, wantCalls)
+	}
+	if want := time.Duration(wantCalls-1) * step; sum.WallNs != want.Nanoseconds() {
+		t.Fatalf("WallNs = %d, want %d (fake-clock span)", sum.WallNs, want.Nanoseconds())
+	}
+	// The flushed profile learned exactly one clock step per point —
+	// the engine measured on the same fake.
+	prof, err := sweep.LoadProfile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Len() != sum.Cold {
+		t.Fatalf("profile has %d entries, want %d", prof.Len(), sum.Cold)
+	}
+	for _, idx := range plan.Select(0) {
+		wall, ok := prof.Wall(pts[idx].Fingerprint)
+		if !ok || wall != step {
+			t.Fatalf("profile wall for %s = %v, %v; want %v", pts[idx].Key, wall, ok, step)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package sim
+
+// Conservative parallel discrete-event simulation (the parti-gem5
+// scheme): the system graph is partitioned into tick-domains, each
+// owning a private EventQueue (with its own 4-ary heap and event
+// freelist), and the domains execute concurrently in quantum-sized
+// windows separated by barriers. Within a window a domain dispatches
+// only its own events; anything that must reach another domain is
+// appended to the sender's outbox and delivered by the coordinator at
+// the barrier, clamped to the next window. The scheme is conservative
+// because a window never runs past the earliest tick at which another
+// domain could influence it: with the quantum at or below the minimum
+// cross-domain channel latency, a message posted during window W can
+// never be due before window W+1 starts, so clamping changes nothing
+// and cross-domain timing is exact. Larger quanta trade that exactness
+// for fewer barriers; the added delivery delay is bounded by
+// quantum-latency per crossing and is pinned by the divergence audit.
+//
+// Determinism: for a fixed partition and quantum, runs are bit-for-bit
+// repeatable. Each domain's queue dispatches in (tick, priority, FIFO)
+// order as always, and the coordinator drains outboxes in fixed domain
+// order at every barrier, so cross-domain messages obtain their
+// destination sequence numbers deterministically.
+
+import "sort"
+
+// crossMsg is one cross-domain message: fn runs on the destination
+// domain's queue at tick at (clamped to the start of the next window
+// when at falls inside the current one).
+type crossMsg struct {
+	dst *Domain
+	at  Tick
+	fn  func()
+}
+
+// Domain is one tick-domain of a partitioned simulation: a private
+// event queue plus the outbox of cross-domain messages produced during
+// the current window. Components built into a domain must schedule
+// exclusively on its queue; traffic for other domains goes through
+// Post.
+type Domain struct {
+	id   int
+	name string
+	par  *Parallel
+	// EQ is the domain's private event queue.
+	EQ *EventQueue
+
+	outbox []crossMsg
+	cmd    chan Tick
+}
+
+// ID reports the domain's index in coordinator order (the outbox drain
+// order at barriers).
+func (d *Domain) ID() int { return d.id }
+
+// Name reports the domain's diagnostic label.
+func (d *Domain) Name() string { return d.name }
+
+// Post sends fn to run in domain dst at absolute tick at. A message to
+// the domain itself schedules directly; a cross-domain message is
+// buffered in the outbox and delivered at the next barrier, no earlier
+// than the first tick of the next window. Post must be called from d's
+// own execution context (its window goroutine, or the single threaded
+// setup phase before Run).
+func (d *Domain) Post(dst *Domain, at Tick, fn func()) {
+	if dst == d {
+		if at < d.EQ.Now() {
+			at = d.EQ.Now()
+		}
+		d.EQ.Schedule(fn, at)
+		return
+	}
+	d.outbox = append(d.outbox, crossMsg{dst: dst, at: at, fn: fn})
+}
+
+// Parallel coordinates N tick-domains through the conservative
+// window/barrier loop.
+type Parallel struct {
+	domains []*Domain
+	quantum Tick
+
+	doneCh   chan struct{}
+	freezeCh chan *freezeReq
+	active   bool
+
+	// Windows counts barrier rounds executed across all Run calls —
+	// the synchronization-overhead diagnostic.
+	Windows uint64
+}
+
+// NewParallel creates an empty coordinator. The quantum is the window
+// length in ticks; it should not exceed the minimum cross-domain
+// channel latency if exact conservative delivery is wanted (larger
+// values are legal and faster, with audited divergence). A quantum
+// below 1 is raised to 1.
+func NewParallel(quantum Tick) *Parallel {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &Parallel{
+		quantum:  quantum,
+		freezeCh: make(chan *freezeReq),
+	}
+}
+
+// Quantum reports the window length in ticks.
+func (p *Parallel) Quantum() Tick { return p.quantum }
+
+// AddDomain creates the next tick-domain. All domains must be added
+// before the first Run.
+func (p *Parallel) AddDomain(name string) *Domain {
+	d := &Domain{
+		id:   len(p.domains),
+		name: name,
+		par:  p,
+		EQ:   NewEventQueue(),
+		cmd:  make(chan Tick, 1),
+	}
+	p.domains = append(p.domains, d)
+	return d
+}
+
+// Domains lists the tick-domains in coordinator order.
+func (p *Parallel) Domains() []*Domain { return p.domains }
+
+// Executed sums dispatched events across every domain.
+func (p *Parallel) Executed() uint64 {
+	var n uint64
+	for _, d := range p.domains {
+		n += d.EQ.Executed
+	}
+	return n
+}
+
+// Now reports the furthest tick any domain has reached.
+func (p *Parallel) Now() Tick {
+	var t Tick
+	for _, d := range p.domains {
+		if n := d.EQ.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// window runs one domain's event loop for the coordinator: execute the
+// window handed over cmd, signal completion, repeat until cmd closes.
+func (d *Domain) window() {
+	for horizon := range d.cmd {
+		d.EQ.RunUntil(horizon)
+		d.par.doneCh <- struct{}{}
+	}
+}
+
+// Run executes barrier windows until every domain's queue drains. It
+// spawns one goroutine per domain for the duration of the call and
+// blocks until the simulation completes, so the caller's goroutine is
+// the only one touching the domains before and after. Run may be
+// called repeatedly (later Runs pick up events scheduled since).
+func (p *Parallel) Run() {
+	p.doneCh = make(chan struct{}, len(p.domains))
+	for _, d := range p.domains {
+		d.cmd = make(chan Tick, 1)
+		go d.window()
+	}
+	defer func() {
+		for _, d := range p.domains {
+			close(d.cmd)
+		}
+		p.active = false
+	}()
+	p.active = true
+
+	for {
+		earliest := MaxTick
+		for _, d := range p.domains {
+			if t, ok := d.EQ.PeekTick(); ok && t < earliest {
+				earliest = t
+			}
+		}
+		if earliest == MaxTick {
+			return
+		}
+		horizon := earliest + p.quantum - 1
+		if horizon < earliest { // tick overflow near MaxTick
+			horizon = MaxTick
+		}
+		p.Windows++
+		for _, d := range p.domains {
+			d.cmd <- horizon
+		}
+		p.await()
+		p.drain(horizon)
+	}
+}
+
+// await blocks until every domain finished its window, serving Freeze
+// rendezvous along the way: when every still-running domain is blocked
+// in Freeze, the system is quiescent and exactly one request — the
+// earliest by (requester tick, domain id) — runs exclusively. The
+// granted domain then resumes its window, so the loop re-establishes
+// quiescence before serving the next request; a domain mid-event can
+// never overlap a frozen access.
+func (p *Parallel) await() {
+	waiting := len(p.domains)
+	var pending []*freezeReq
+	for waiting > 0 {
+		if len(pending) == waiting {
+			sort.Slice(pending, func(i, j int) bool {
+				if pending[i].at != pending[j].at {
+					return pending[i].at < pending[j].at
+				}
+				return pending[i].domain < pending[j].domain
+			})
+			r := pending[0]
+			pending = pending[1:]
+			r.grant <- struct{}{}
+			<-r.done
+			continue
+		}
+		select {
+		case <-p.doneCh:
+			waiting--
+		case r := <-p.freezeCh:
+			pending = append(pending, r)
+		}
+	}
+}
+
+// drain delivers every outbox message accumulated during the window,
+// in domain order, clamped to the first tick after the horizon. Only
+// the coordinator runs here; all domain goroutines are parked.
+func (p *Parallel) drain(horizon Tick) {
+	next := horizon + 1
+	if next < horizon {
+		next = MaxTick
+	}
+	for _, d := range p.domains {
+		for i, m := range d.outbox {
+			at := m.at
+			if at < next {
+				at = next
+			}
+			m.dst.EQ.Schedule(m.fn, at)
+			d.outbox[i] = crossMsg{}
+		}
+		d.outbox = d.outbox[:0]
+	}
+}
+
+// freezeReq is one Freeze rendezvous: the requesting domain blocks
+// until the coordinator grants it exclusive access at a quiescent
+// point.
+type freezeReq struct {
+	domain int
+	at     Tick
+	grant  chan struct{}
+	done   chan struct{}
+}
+
+// Freeze runs fn with every other domain quiescent — parked at the
+// window barrier or itself blocked in Freeze. It is the rendezvous for
+// the rare cross-domain functional accesses (the driver staging
+// device-memory buffers): fn may touch any domain's components because
+// no domain is mid-event elsewhere. Called outside Run, fn simply runs
+// inline (the setup phase is single-threaded). d must be the calling
+// domain.
+func (p *Parallel) Freeze(d *Domain, fn func()) {
+	if !p.active {
+		fn()
+		return
+	}
+	r := &freezeReq{
+		domain: d.id,
+		at:     d.EQ.Now(),
+		grant:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	p.freezeCh <- r
+	<-r.grant
+	fn()
+	r.done <- struct{}{}
+}

@@ -1,0 +1,193 @@
+package sim
+
+// Freelist-accounting regression tests for windowed execution: when
+// RunUntil returns with events still scheduled (the normal state of a
+// tick-domain between barriers), pending pooled events must neither
+// leak out of the accounting nor be recycled while still queued. The
+// invariant checks below walk both the heap and the freelist by
+// identity, so a double-recycle (one handle at two freelist slots, or
+// queued and free at once) fails loudly instead of corrupting a later
+// window.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkAccounting verifies the heap/freelist bookkeeping invariants:
+// every heap entry knows its index and is not simultaneously free,
+// every freelist entry knows its slot and is not simultaneously
+// queued, and no handle appears twice anywhere.
+func checkAccounting(t *testing.T, q *EventQueue) {
+	t.Helper()
+	seen := make(map[*Event]string, len(q.heap)+len(q.free))
+	for i, e := range q.heap {
+		if e.index != i {
+			t.Fatalf("heap[%d] has index %d", i, e.index)
+		}
+		if e.freeIdx >= 0 {
+			t.Fatalf("heap[%d] also sits in the freelist at %d", i, e.freeIdx)
+		}
+		if where, dup := seen[e]; dup {
+			t.Fatalf("event in heap[%d] already seen at %s", i, where)
+		}
+		seen[e] = "heap"
+	}
+	for i, e := range q.free {
+		if e.freeIdx != i {
+			t.Fatalf("free[%d] has freeIdx %d", i, e.freeIdx)
+		}
+		if e.index >= 0 {
+			t.Fatalf("free[%d] is also pending at heap index %d", i, e.index)
+		}
+		if where, dup := seen[e]; dup {
+			t.Fatalf("event in free[%d] already seen at %s", i, where)
+		}
+		seen[e] = "free"
+	}
+}
+
+// TestRunUntilPendingEventsStayAccounted drives a random windowed
+// workload — every window ends with events still pending — and checks
+// the accounting after each window, after a drain to completion, and
+// across a reuse cycle.
+func TestRunUntilPendingEventsStayAccounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewEventQueue()
+	fired := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		q.Schedule(func() {
+			fired++
+			if depth > 0 && rng.Intn(2) == 0 {
+				schedule(depth - 1)
+			}
+		}, q.Now()+Tick(1+rng.Intn(40)))
+	}
+	for i := 0; i < 64; i++ {
+		schedule(3)
+	}
+	for limit := Tick(10); q.Len() > 0; limit += 10 {
+		q.RunUntil(limit)
+		checkAccounting(t, q)
+		if q.Now() != limit {
+			t.Fatalf("RunUntil(%d) left now at %d", limit, q.Now())
+		}
+	}
+	if fired == 0 {
+		t.Fatal("workload never fired")
+	}
+	// Everything recycled exactly once: schedule again from the
+	// freelist and drain; the free count must return to its high-water
+	// mark, not grow (leak) or shrink (lost handle).
+	high := len(q.free)
+	for i := 0; i < high; i++ {
+		q.Schedule(func() {}, q.Now()+1)
+	}
+	checkAccounting(t, q)
+	if len(q.free) != 0 {
+		t.Fatalf("freelist holds %d after draining it via Schedule", len(q.free))
+	}
+	q.Run()
+	checkAccounting(t, q)
+	if len(q.free) != high {
+		t.Fatalf("freelist holds %d after redispatch, want %d", len(q.free), high)
+	}
+}
+
+// TestDescheduleAcrossWindows pins the interaction satellite-audited
+// in this PR: descheduling and rescheduling pooled events around a
+// RunUntil boundary must keep the accounting exact (a cancelled
+// one-shot returns to the freelist; pulling it back out un-frees it).
+func TestDescheduleAcrossWindows(t *testing.T) {
+	q := NewEventQueue()
+	a := q.Schedule(func() {}, 100)
+	b := q.Schedule(func() {}, 200)
+	q.RunUntil(50) // nothing fires; both still pending
+	checkAccounting(t, q)
+
+	q.Deschedule(a) // cancelled one-shot returns to the freelist
+	checkAccounting(t, q)
+	if got := q.Schedule(func() {}, 60); got != a {
+		t.Fatalf("Schedule did not reuse the cancelled handle")
+	}
+	checkAccounting(t, q)
+
+	q.Reschedule(b, 70)
+	checkAccounting(t, q)
+	q.Run()
+	checkAccounting(t, q)
+	if len(q.free) != 2 {
+		t.Fatalf("freelist holds %d, want both handles back", len(q.free))
+	}
+}
+
+// TestWindowedDispatchAllocFree extends the zero-alloc gate to
+// windowed execution: repeated RunUntil windows with events pending
+// across every boundary must not allocate.
+func TestWindowedDispatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	q := NewEventQueue()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		q.Schedule(fn, q.Now()+Tick(i))
+	}
+	q.Run()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		base := q.Now()
+		for i := 0; i < 64; i++ {
+			q.Schedule(fn, base+Tick(1+i))
+		}
+		// Four windows, each leaving later events pending.
+		for w := Tick(16); w <= 64; w += 16 {
+			q.RunUntil(base + w)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("windowed dispatch allocated %.2f per run, want 0", allocs)
+	}
+}
+
+// TestWindowedDispatchOrderMatchesRun pins that chopping a schedule
+// into RunUntil windows cannot change the dispatch order: the same
+// seeded workload replayed on a fresh queue under Run() fires
+// identically.
+func TestWindowedDispatchOrderMatchesRun(t *testing.T) {
+	build := func() (*EventQueue, *[]Tick) {
+		rng := rand.New(rand.NewSource(11))
+		q := NewEventQueue()
+		log := &[]Tick{}
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			q.Schedule(func() {
+				*log = append(*log, q.Now())
+				if depth > 0 && rng.Intn(2) == 0 {
+					schedule(depth - 1)
+				}
+			}, q.Now()+Tick(1+rng.Intn(30)))
+		}
+		for i := 0; i < 48; i++ {
+			schedule(4)
+		}
+		return q, log
+	}
+
+	qa, la := build()
+	for qa.Len() > 0 {
+		qa.RunUntil(qa.Now() + 7)
+	}
+	qb, lb := build()
+	qb.Run()
+
+	if len(*la) != len(*lb) {
+		t.Fatalf("windowed run fired %d events, sequential %d", len(*la), len(*lb))
+	}
+	for i := range *la {
+		if (*la)[i] != (*lb)[i] {
+			t.Fatalf("dispatch %d at tick %v windowed vs %v sequential", i, (*la)[i], (*lb)[i])
+		}
+	}
+}
