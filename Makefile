@@ -16,6 +16,10 @@
 #                   serve` process on an ephemeral port, driven over
 #                   HTTP (submit -> poll -> rows, then a fully-warm
 #                   re-submit), drained with SIGTERM
+#   make exploresmoke - seeded small-budget `accesys explore` over the
+#                   fig4-derived objective, run twice from fresh caches
+#                   to verify byte-identical frontiers/traces, with the
+#                   trace proving the screen pruned the space
 #   make fuzz     - short native-fuzz pass over the manifest and shard
 #                   plan parsers (FUZZTIME per target, default 10s)
 #   make golden   - golden-row conformance suite (all nine experiments)
@@ -31,7 +35,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke servesmoke fuzz golden cover equiv ci bench benchcheck figures clean
+.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke servesmoke exploresmoke fuzz golden cover equiv ci bench benchcheck figures clean
 
 # Minimum total statement coverage (percent) make cover enforces.
 COVER_FLOOR ?= 75
@@ -114,6 +118,40 @@ fleetsmoke:
 servesmoke:
 	$(GO) test -count=1 -run '^TestServeSmokeDaemon$$' ./cmd/accesys
 
+# Explore smoke: the multi-fidelity search over the fig4-derived
+# objective, twice from fresh caches — frontiers and traces must be
+# byte-identical (the determinism contract), rank 1 must be the known
+# optimum, and the trace must show the analytic screen pruned the
+# timing rung to under half the space. A third run over the first
+# cache must promote zero cold points.
+EXPLORESMOKE_DIR := .exploresmoke
+exploresmoke:
+	@rm -rf $(EXPLORESMOKE_DIR) && mkdir -p $(EXPLORESMOKE_DIR)
+	$(GO) run ./cmd/accesys explore -cache $(EXPLORESMOKE_DIR)/c1 \
+		-trace $(EXPLORESMOKE_DIR)/t1.json testdata/explore_fig4.json \
+		> $(EXPLORESMOKE_DIR)/f1.txt
+	$(GO) run ./cmd/accesys explore -cache $(EXPLORESMOKE_DIR)/c2 \
+		-trace $(EXPLORESMOKE_DIR)/t2.json testdata/explore_fig4.json \
+		> $(EXPLORESMOKE_DIR)/f2.txt
+	@cmp $(EXPLORESMOKE_DIR)/f1.txt $(EXPLORESMOKE_DIR)/f2.txt || \
+		{ echo "exploresmoke: same-seed frontiers differ"; exit 1; }
+	@cmp $(EXPLORESMOKE_DIR)/t1.json $(EXPLORESMOKE_DIR)/t2.json || \
+		{ echo "exploresmoke: same-seed traces differ"; exit 1; }
+	@grep -Eq '^ *1 +fig4-64-512 ' $(EXPLORESMOKE_DIR)/f1.txt || \
+		{ echo "exploresmoke: rank 1 is not the known optimum:"; cat $(EXPLORESMOKE_DIR)/f1.txt; exit 1; }
+	@cold=$$(awk -F': ' '/"cold_timing"/ {gsub(/,/, "", $$2); print $$2}' $(EXPLORESMOKE_DIR)/t1.json); \
+		[ "$$cold" -gt 0 ] && [ "$$cold" -lt 18 ] || \
+		{ echo "exploresmoke: cold-simulated $$cold of 35 points; screen not pruning"; exit 1; }
+	$(GO) run ./cmd/accesys explore -cache $(EXPLORESMOKE_DIR)/c1 \
+		-trace $(EXPLORESMOKE_DIR)/t3.json testdata/explore_fig4.json \
+		> $(EXPLORESMOKE_DIR)/f3.txt
+	@cmp $(EXPLORESMOKE_DIR)/f1.txt $(EXPLORESMOKE_DIR)/f3.txt || \
+		{ echo "exploresmoke: warm re-run frontier differs"; exit 1; }
+	@grep -q '"cold_timing": 0' $(EXPLORESMOKE_DIR)/t3.json || \
+		{ echo "exploresmoke: warm re-run cold-simulated points"; exit 1; }
+	@echo "exploresmoke: deterministic frontier, optimum found, warm re-run fully cached"
+	@rm -rf $(EXPLORESMOKE_DIR)
+
 # Parallel smoke: run the fig4 matrix partitioned into 4 tick-domains
 # and audit every point's divergence against the sequential loop via
 # the pareq command — the conservative barrier scheme must stay inside
@@ -146,7 +184,7 @@ cover:
 equiv:
 	$(GO) run ./cmd/accesys equiv fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9
 
-ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke parallelsmoke fuzz golden bench benchcheck cover
+ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke exploresmoke parallelsmoke fuzz golden bench benchcheck cover
 
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' .
@@ -157,7 +195,7 @@ BENCHFRESH_DIR := .benchfresh
 benchcheck:
 	@rm -rf $(BENCHFRESH_DIR) && mkdir -p $(BENCHFRESH_DIR)
 	BENCH_DIR=$(BENCHFRESH_DIR) $(GO) test -short -run '^$$' \
-		-bench 'SimulatorThroughput|SweepThroughput|ShardMerge|ParallelSpeedup' \
+		-bench 'SimulatorThroughput|SweepThroughput|ShardMerge|ParallelSpeedup|Explore' \
 		-benchtime=1x -count=3 .
 	$(GO) run ./cmd/benchcheck -baseline . -fresh $(BENCHFRESH_DIR) -tol $(BENCH_TOL)
 	@rm -rf $(BENCHFRESH_DIR)

@@ -21,6 +21,7 @@ import (
 	"accesys/internal/dram"
 	"accesys/internal/driver"
 	"accesys/internal/exp"
+	"accesys/internal/explore"
 	"accesys/internal/pcie"
 	"accesys/internal/scenario"
 	"accesys/internal/shard"
@@ -473,4 +474,60 @@ func BenchmarkAblationCutThrough(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkExplore measures the search-driven front-end end to end:
+// one seeded random search per iteration over a six-point matrix with
+// a two-point budget, cold every time (fresh cache state per run), so
+// the number covers analytic screening, ranking, budget admission,
+// and the promoted timing simulations. Reported as points screened
+// per second and promotions per second; the measurement lands in
+// BENCH_explore.json under the unified bench-record schema.
+func BenchmarkExplore(b *testing.B) {
+	sc := func() *scenario.Scenario {
+		return &scenario.Scenario{
+			Name:     "bench-explore",
+			Base:     "pcie8gb",
+			Workload: scenario.Workload{Kind: "gemm", N: scenario.Size{Quick: 64, Full: 64}},
+			Axes: []scenario.Axis{
+				{Name: "lanes", Values: []scenario.Value{4.0, 8.0}},
+				{Name: "packet_bytes", Values: []scenario.Value{64.0, 128.0, 256.0}},
+			},
+			Explore: &scenario.ExploreSpec{
+				Objective: scenario.Objective{Metric: "exec", Goal: "min"},
+				Strategy:  "random",
+				Seed:      7,
+				Budget:    "2",
+			},
+		}
+	}
+	b.ResetTimer()
+	start := time.Now()
+	screened, promoted := 0, 0
+	for i := 0; i < b.N; i++ {
+		rep, err := explore.Run(sc(), scenario.Options{Jobs: runtime.NumCPU()}, explore.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := rep.Trace.Summary
+		if sum.Screened == 0 || sum.Promoted == 0 {
+			b.Fatalf("degenerate search: %+v", sum)
+		}
+		screened += sum.Screened
+		promoted += sum.Promoted
+	}
+	elapsed := time.Since(start)
+	sps := float64(screened) / elapsed.Seconds()
+	pps := float64(promoted) / elapsed.Seconds()
+	b.ReportMetric(sps, "screened/s")
+	b.ReportMetric(pps, "promotions/s")
+	b.StopTimer()
+	recordBest(b, "BENCH_explore.json", []bench.Record{
+		// Tol: each promotion is a full cold simulation, so the rates
+		// inherit simulator wall-clock noise; wide band like ShardMerge.
+		{Benchmark: "Explore", Metric: "screened_per_sec", Value: sps, Unit: "points/s", Tol: 0.60,
+			Context: map[string]float64{"space": 6, "budget": 2}},
+		{Benchmark: "Explore", Metric: "promotions_per_sec", Value: pps, Unit: "points/s", Tol: 0.60,
+			Context: map[string]float64{"space": 6, "budget": 2}},
+	})
 }

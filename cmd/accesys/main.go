@@ -6,6 +6,7 @@
 //	accesys run [-full] [-v] [-jobs N] [-cache dir] [-nocache] [experiment ...]
 //	accesys sweep [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-csv file] manifest.json ...
 //	accesys equiv [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-tol f] [-warn f] [-json] manifest.json|experiment ...
+//	accesys explore [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-strategy name] [-seed N] [-budget N|dur] [-trace file] [-csv file] manifest.json
 //	accesys pareq [-full] [-v] [-jobs N] [-cache dir] [-nocache] [-domains N] [-quantum d] [-tol f] manifest.json|experiment ...
 //	accesys shard plan [-full] [-profile DIR] -shards N manifest.json
 //	accesys shard run [-full] [-v] [-jobs N] [-plan FILE] -shard k/N -dir DIR manifest.json
@@ -36,6 +37,19 @@
 // experiment ids; warm cache outcomes satisfy the timing side without
 // re-simulating. Exit status 1 when any point diverges beyond the
 // fail band. -json emits machine-readable reports instead of tables.
+//
+// explore is the search-driven front-end over a manifest's axis
+// space: instead of sweeping the exhaustive cross product, it runs
+// the manifest's declared optimization (an `explore` stanza with an
+// objective, constraints, strategy, seed, and budget), screening
+// candidate generations through the ~free analytic backend and
+// promoting only the promising fraction to timing simulation. The
+// ranked frontier prints as a table (plus -csv), and -trace records
+// every generation — candidate, fidelity, objective, promoted — as
+// JSON. Searches are deterministic per (manifest, seed, budget) and
+// compose with the warm cache: re-exploring promotes the same points
+// and simulates none of them cold. See README.md "Design-space
+// exploration" for the stanza schema.
 //
 // pareq is the intra-point parallelism audit: it runs the same matrix
 // through the sequential event loop and through a partitioned
@@ -531,6 +545,8 @@ func (a *app) main(args []string) int {
 			return a.cmdSweep(args[1:])
 		case "equiv":
 			return a.cmdEquiv(args[1:])
+		case "explore":
+			return a.cmdExplore(args[1:])
 		case "pareq":
 			return a.cmdPareq(args[1:])
 		case "shard":
@@ -544,7 +560,7 @@ func (a *app) main(args []string) int {
 		case "list":
 			return a.cmdList(args[1:])
 		case "help", "-h", "-help", "--help":
-			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|pareq|shard|fleet|serve|cachestats|list] ...\n")
+			fmt.Fprintf(a.stderr, "usage: accesys [run|sweep|equiv|explore|pareq|shard|fleet|serve|cachestats|list] ...\n")
 			fmt.Fprintf(a.stderr, "run 'accesys <command> -h' for command flags; a bare flag list runs `run`\n")
 			return usageErr
 		}

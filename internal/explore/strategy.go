@@ -1,0 +1,117 @@
+package explore
+
+// The two launch strategies behind one interface. Both consume the
+// Search's Sample/Screen/EvalTiming primitives, so adding a smarter
+// searcher (hill-climb, bandit, RL) is a new file, not a new engine.
+
+import "fmt"
+
+// Strategy drives one search to budget exhaustion (or space
+// exhaustion, whichever lands first).
+type Strategy interface {
+	Name() string
+	Run(s *Search) error
+}
+
+func strategyFor(name string) (Strategy, error) {
+	switch name {
+	case "", "random":
+		return random{}, nil
+	case "halving":
+		return halving{}, nil
+	}
+	return nil, fmt.Errorf("explore: unknown strategy %q", name)
+}
+
+// random is seeded random search with analytic pre-screening: each
+// generation samples Generation fresh feasible points, screens them
+// analytically for free, and promotes only the top Promote fraction
+// to exact timing. Simple, embarrassingly restartable (the cache
+// makes re-runs warm), and a strong baseline on smooth objectives.
+type random struct{}
+
+func (random) Name() string { return "random" }
+
+func (random) Run(s *Search) error {
+	for !s.budget.Exhausted() {
+		gen := s.Sample(s.genSize)
+		if len(gen) == 0 {
+			return nil // space drained
+		}
+		cands, err := s.Screen(gen)
+		if err != nil {
+			return err
+		}
+		ranked := s.Rank(cands)
+		k := ceilFrac(len(ranked), s.promote)
+		if _, err := s.EvalTiming(ranked[:k], FidelityTiming); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// halving is successive halving over the fidelity ladder: sample one
+// large population sized so that keeping 1/eta per rung lands the
+// exact-timing rung at the point budget, screen it analytically, then
+// (optionally) run the survivors through the proxy rung — a
+// partitioned short-quantum timing build, cheap but approximate —
+// before spending exact simulation only on the final survivors.
+type halving struct{}
+
+func (halving) Name() string { return "halving" }
+
+func (halving) Run(s *Search) error {
+	rungs := 2
+	if s.spec.Proxy != nil {
+		rungs = 3
+	}
+	base := s.budget.Points
+	if base <= 0 {
+		base = defaultGeneration // wall budgets have no natural count
+	}
+	pop := base
+	for i := 0; i < rungs-1; i++ {
+		pop *= s.eta
+	}
+
+	gen := s.Sample(pop)
+	if len(gen) == 0 {
+		return nil
+	}
+	cands, err := s.Screen(gen)
+	if err != nil {
+		return err
+	}
+	ranked := s.Rank(cands)
+	keep := ceilDiv(len(ranked), s.eta)
+	survivors := ranked[:keep]
+
+	if s.spec.Proxy != nil {
+		evaled, err := s.EvalTiming(survivors, FidelityProxy)
+		if err != nil {
+			return err
+		}
+		ranked = s.Rank(evaled)
+		keep = ceilDiv(len(ranked), s.eta)
+		if keep > len(ranked) {
+			keep = len(ranked)
+		}
+		// Proxy candidates carry partitioned configs; remap the
+		// survivors back to their exact-rung selves by index.
+		byIndex := map[int]*cand{}
+		for _, c := range cands {
+			byIndex[c.index] = c
+		}
+		survivors = survivors[:0]
+		for _, pc := range ranked[:keep] {
+			if c, ok := byIndex[pc.index]; ok {
+				c.obj = pc.obj   // rank downstream by proxy timing
+				c.eval = pc.eval // exact admission marks the proxy record
+				survivors = append(survivors, c)
+			}
+		}
+	}
+	_, err = s.EvalTiming(survivors, FidelityTiming)
+	return err
+}

@@ -254,16 +254,23 @@ func (s *Scenario) extractor(r Run) func(*core.System, driver.Result) map[string
 	}
 }
 
+// pointFor wraps one resolved run as an engine-ready sweep point.
+func (s *Scenario) pointFor(r Run) sweep.Point {
+	var p sweep.Point
+	if s.Workload.Kind == "vit" {
+		p = ViTPoint(r.Cfg, r.Model)
+	} else {
+		p = GEMMPoint(r.Cfg, r.N, s.extractor(r))
+	}
+	p.Key = r.Key
+	return p
+}
+
 // Points converts resolved runs into engine-ready sweep points.
 func (s *Scenario) Points(runs []Run) []sweep.Point {
 	points := make([]sweep.Point, len(runs))
 	for i, r := range runs {
-		if s.Workload.Kind == "vit" {
-			points[i] = ViTPoint(r.Cfg, r.Model)
-		} else {
-			points[i] = GEMMPoint(r.Cfg, r.N, s.extractor(r))
-		}
-		points[i].Key = r.Key
+		points[i] = s.pointFor(r)
 	}
 	return points
 }

@@ -132,6 +132,10 @@ type Scenario struct {
 	// Analytic tunes the cross-backend equivalence comparison (see
 	// analytic.go); nil uses the harness defaults.
 	Analytic *AnalyticSpec `json:"analytic,omitempty"`
+	// Explore declares the search objective and constraints for
+	// `accesys explore` (see explore.go); nil scenarios can only be
+	// swept exhaustively.
+	Explore *ExploreSpec `json:"explore,omitempty"`
 }
 
 // Run is one resolved point of the matrix: the full system config plus
@@ -359,6 +363,11 @@ func (s *Scenario) Validate() error {
 			return fail("analytic warn threshold %g exceeds fail threshold %g", a.Warn, a.Tol)
 		}
 	}
+	if s.Explore != nil {
+		if err := s.validateExplore(fail); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -393,78 +402,17 @@ func (s *Scenario) hasAxis(name string) bool {
 // the in-process memo across scenarios) and are keyed
 // <config>/<model>.
 func (s *Scenario) Expand(full bool) ([]Run, error) {
-	if err := s.Validate(); err != nil {
+	sp, err := s.Space(full)
+	if err != nil {
 		return nil, err
 	}
-
-	axes := make([]struct {
-		def  *axisDef
-		vals []Value
-	}, len(s.Axes))
-	total := 1
-	for i, ax := range s.Axes {
-		axes[i].def = axisRegistry[ax.Name]
-		axes[i].vals = s.axisValues(ax.Name, full)
-		total *= len(axes[i].vals)
-	}
-
-	runs := make([]Run, 0, total)
-	idx := make([]int, len(axes))
-	for count := 0; count < total; count++ {
-		r := Run{
-			Cfg:   presets[s.base()](),
-			N:     s.SizeFor(full),
-			Model: workload.ViTBase,
+	runs := make([]Run, 0, sp.Size())
+	for i := 0; i < sp.Size(); i++ {
+		r, err := sp.RunAt(i)
+		if err != nil {
+			return nil, err
 		}
-		// Apply defaults and the selected value of every axis in phase
-		// order (presets replace the config wholesale, so they go
-		// first; placement-aware axes like "mem" go last), but record
-		// labels in declaration order. Within a phase, defaults
-		// precede axes so a swept axis can override a default — and a
-		// field default (e.g. compute_ns) survives a preset axis
-		// replacing the whole config in the earlier phase.
-		r.axisNames = make([]string, len(axes))
-		r.labels = make([]string, len(axes))
-		for phase := 0; phase <= maxPhase; phase++ {
-			for _, d := range s.Defaults {
-				def := axisRegistry[d.Axis]
-				if def.phase != phase {
-					continue
-				}
-				cv, _ := canon(d.Value)
-				if err := def.apply(&r, cv); err != nil {
-					return nil, fmt.Errorf("scenario %s: defaults %q: %v", s.Name, d.Axis, err)
-				}
-			}
-			for i, ax := range axes {
-				if ax.def.phase != phase {
-					continue
-				}
-				v := ax.vals[idx[i]]
-				if err := ax.def.apply(&r, v); err != nil {
-					return nil, fmt.Errorf("scenario %s: axis %q: %v", s.Name, ax.def.name, err)
-				}
-				r.axisNames[i] = ax.def.name
-				r.labels[i] = ax.def.label(v)
-			}
-		}
-		s.nameRun(&r)
 		runs = append(runs, r)
-
-		for i := len(idx) - 1; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(axes[i].vals) {
-				break
-			}
-			idx[i] = 0
-		}
-	}
-	if s.Workload.Kind == "gemm" || s.Workload.Kind == "" {
-		for _, r := range runs {
-			if r.N <= 0 {
-				return nil, fmt.Errorf("scenario %s: run %s has no GEMM size", s.Name, r.Key)
-			}
-		}
 	}
 	return runs, nil
 }

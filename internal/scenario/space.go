@@ -1,0 +1,155 @@
+package scenario
+
+// The lazy enumeration seam: a Space indexes a scenario's cross
+// product without materializing it. Expand is a loop over RunAt, so
+// both paths resolve points identically — the explore optimizer walks
+// the same (index, fingerprint) coordinates that shard plans and the
+// golden corpus pin, it just never has to build all of them.
+
+import (
+	"fmt"
+
+	"accesys/internal/sweep"
+	"accesys/internal/workload"
+)
+
+// spaceAxis is one resolved dimension of the cross product: the
+// registry definition, the mode-resolved canonical values, and the
+// mixed-radix stride of the axis's position (first axis slowest).
+type spaceAxis struct {
+	def    *axisDef
+	vals   []Value
+	stride int
+}
+
+// Space is a validated, lazily indexable view of a scenario's run
+// matrix. Index i corresponds one-to-one with Expand's i-th run — the
+// stable enumeration contract PointsFor documents.
+type Space struct {
+	sc   *Scenario
+	full bool
+	axes []spaceAxis
+	size int
+}
+
+// Space validates the scenario once and returns the indexable view of
+// its cross product for the given mode.
+func (s *Scenario) Space(full bool) (*Space, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sp := &Space{sc: s, full: full, axes: make([]spaceAxis, len(s.Axes))}
+	sp.size = 1
+	for i, ax := range s.Axes {
+		sp.axes[i].def = axisRegistry[ax.Name]
+		sp.axes[i].vals = s.axisValues(ax.Name, full)
+		sp.size *= len(sp.axes[i].vals)
+	}
+	// Mixed-radix strides, last axis fastest (stride 1).
+	stride := 1
+	for i := len(sp.axes) - 1; i >= 0; i-- {
+		sp.axes[i].stride = stride
+		stride *= len(sp.axes[i].vals)
+	}
+	return sp, nil
+}
+
+// Size is the number of points in the cross product.
+func (sp *Space) Size() int { return sp.size }
+
+// Full reports the mode the space was resolved for.
+func (sp *Space) Full() bool { return sp.full }
+
+// Scenario returns the scenario the space indexes.
+func (sp *Space) Scenario() *Scenario { return sp.sc }
+
+// coord decodes index i into per-axis value positions.
+func (sp *Space) coord(i int, out []int) {
+	for j := range sp.axes {
+		out[j] = (i / sp.axes[j].stride) % len(sp.axes[j].vals)
+	}
+}
+
+// AxisValue returns the canonical value the named axis takes at point
+// i, without resolving the run — the cheap probe explore's axis
+// constraints use to reject candidates before any config is built.
+// ok is false when the axis is not part of the scenario or i is out
+// of range.
+func (sp *Space) AxisValue(i int, axis string) (Value, bool) {
+	if i < 0 || i >= sp.size {
+		return nil, false
+	}
+	for j := range sp.axes {
+		if sp.axes[j].def.name == axis {
+			pos := (i / sp.axes[j].stride) % len(sp.axes[j].vals)
+			return sp.axes[j].vals[pos], true
+		}
+	}
+	return nil, false
+}
+
+// RunAt resolves point i of the cross product — byte-identical to
+// Expand's i-th run: defaults and axis values applied in phase order,
+// labels recorded in declaration order, then named.
+func (sp *Space) RunAt(i int) (Run, error) {
+	s := sp.sc
+	if i < 0 || i >= sp.size {
+		return Run{}, fmt.Errorf("scenario %s: point index %d out of range [0,%d)", s.Name, i, sp.size)
+	}
+	coord := make([]int, len(sp.axes))
+	sp.coord(i, coord)
+
+	r := Run{
+		Cfg:   presets[s.base()](),
+		N:     s.SizeFor(sp.full),
+		Model: workload.ViTBase,
+	}
+	// Apply defaults and the selected value of every axis in phase
+	// order (presets replace the config wholesale, so they go first;
+	// placement-aware axes like "mem" go last), but record labels in
+	// declaration order. Within a phase, defaults precede axes so a
+	// swept axis can override a default — and a field default (e.g.
+	// compute_ns) survives a preset axis replacing the whole config in
+	// the earlier phase.
+	r.axisNames = make([]string, len(sp.axes))
+	r.labels = make([]string, len(sp.axes))
+	for phase := 0; phase <= maxPhase; phase++ {
+		for _, d := range s.Defaults {
+			def := axisRegistry[d.Axis]
+			if def.phase != phase {
+				continue
+			}
+			cv, _ := canon(d.Value)
+			if err := def.apply(&r, cv); err != nil {
+				return Run{}, fmt.Errorf("scenario %s: defaults %q: %v", s.Name, d.Axis, err)
+			}
+		}
+		for j := range sp.axes {
+			ax := &sp.axes[j]
+			if ax.def.phase != phase {
+				continue
+			}
+			v := ax.vals[coord[j]]
+			if err := ax.def.apply(&r, v); err != nil {
+				return Run{}, fmt.Errorf("scenario %s: axis %q: %v", s.Name, ax.def.name, err)
+			}
+			r.axisNames[j] = ax.def.name
+			r.labels[j] = ax.def.label(v)
+		}
+	}
+	s.nameRun(&r)
+	if (s.Workload.Kind == "gemm" || s.Workload.Kind == "") && r.N <= 0 {
+		return Run{}, fmt.Errorf("scenario %s: run %s has no GEMM size", s.Name, r.Key)
+	}
+	return r, nil
+}
+
+// PointAt resolves point i and wraps it as an engine-ready sweep
+// point, identical to PointsFor(full)[i].
+func (sp *Space) PointAt(i int) (Run, sweep.Point, error) {
+	r, err := sp.RunAt(i)
+	if err != nil {
+		return Run{}, sweep.Point{}, err
+	}
+	return r, sp.sc.pointFor(r), nil
+}

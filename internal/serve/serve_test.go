@@ -771,3 +771,56 @@ func TestServeFleetExecutor(t *testing.T) {
 		t.Fatalf("fleet rows %+v", rows)
 	}
 }
+
+// TestConcurrentOverlapLeaderPanicFailsBothJobs races the in-flight
+// dedup against a panicking simulation: two jobs submit the same
+// panicking point concurrently, so one job's sweep leads the shared
+// flight call and blows up mid-simulation. The follower must observe
+// that failure — its job fails with the panic error too — rather than
+// hanging on the flight's done channel or adopting a zero Result as a
+// completed point. The daemon itself must survive both.
+func TestConcurrentOverlapLeaderPanicFailsBothJobs(t *testing.T) {
+	const panicManifest = `{
+  "name": "boom",
+  "title": "panic overlap",
+  "base": "pcie8gb",
+  "workload": {"kind": "gemm", "n": 64},
+  "axes": [{"axis": "packet_bytes", "values": [8192]}]
+}`
+	start := make(chan struct{})
+	arrived := make(chan struct{}, 2)
+	testHookRunning = func(j *job) {
+		// Park both jobs at the starting line so their sweeps overlap
+		// on the panicking point.
+		arrived <- struct{}{}
+		<-start
+	}
+	defer func() { testHookRunning = nil }()
+
+	_, ts := newTestServer(t, func(c *Config) { c.Concurrency = 2; c.Jobs = 2 })
+	_, b1, _ := submitManifest(t, ts, panicManifest, "alice")
+	_, b2, _ := submitManifest(t, ts, panicManifest, "bob")
+	<-arrived
+	<-arrived
+	close(start)
+
+	st1 := waitDone(t, ts, b1["id"].(string))
+	st2 := waitDone(t, ts, b2["id"].(string))
+	for i, st := range []JobStatus{st1, st2} {
+		if st.State != stateFailed {
+			t.Fatalf("job %d = %+v, want failed (follower adopted a zero result?)", i+1, st)
+		}
+		if !strings.Contains(st.Error, "panicked") {
+			t.Fatalf("job %d error %q, want the propagated panic", i+1, st.Error)
+		}
+	}
+
+	// The daemon is still healthy: a clean job completes.
+	code, body, _ := submitManifest(t, ts, miniManifest, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("follow-up submit: %d %v", code, body)
+	}
+	if st := waitDone(t, ts, body["id"].(string)); st.State != stateDone {
+		t.Fatalf("follow-up job after the shared panic = %+v, want done", st)
+	}
+}

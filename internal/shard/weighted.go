@@ -97,8 +97,11 @@ func PartitionWeighted(scenarioName string, full bool, points []sweep.Point, n i
 	}
 
 	// LPT: heaviest profiled group first onto the least-loaded shard.
-	// Ties break toward the earlier expansion index and the lower shard
-	// id, keeping the plan deterministic.
+	// Equal-wall groups order by earliest expansion index, and the
+	// least-loaded scan uses a strict < so shards carrying equal load
+	// always lose to the lowest shard index — both tie-breaks are
+	// pinned (TestWeightedPartitionEqualLoadTieGoesToLowestShard), so
+	// weighted plans are byte-stable across runs and hosts.
 	sort.SliceStable(profiled, func(a, b int) bool {
 		if profiled[a].wallNs != profiled[b].wallNs {
 			return profiled[a].wallNs > profiled[b].wallNs

@@ -283,3 +283,71 @@ func predictedMax(loads []int64) int64 {
 	}
 	return max
 }
+
+// TestWeightedPartitionEqualLoadTieGoesToLowestShard pins the greedy
+// LPT tie-break: when several shards carry equal load, the next group
+// must land on the lowest shard index. Four equal-wall groups over
+// two shards therefore alternate 0,1,0,1 — any other winner means the
+// scan's comparison regressed to <= (or worse, map iteration).
+func TestWeightedPartitionEqualLoadTieGoesToLowestShard(t *testing.T) {
+	pts := fakePoints(4, nil)
+	walls := map[int]int64{0: 50, 1: 50, 2: 50, 3: 50}
+	plan, err := PartitionWeighted("tie", false, pts, 2, profileFor(t, pts, walls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LPT order among equal walls is expansion order, so the shard
+	// sequence is fully determined: 0 (tie 0==0), 1 (0 loaded), 0
+	// (tie 50==50), 1.
+	want := []int{0, 1, 0, 1}
+	for i, a := range plan.Points {
+		if a.Shard != want[i] {
+			t.Fatalf("point %d on shard %d, want %d (plan %v)", i, a.Shard, want[i],
+				[]int{plan.Points[0].Shard, plan.Points[1].Shard, plan.Points[2].Shard, plan.Points[3].Shard})
+		}
+	}
+}
+
+// TestWeightedPlanByteStable is the property test behind the
+// determinism claim: for random point sets and profiles, repeated
+// PartitionWeighted calls marshal to byte-identical plans.
+func TestWeightedPlanByteStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		npoints := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(5)
+		pts := fakePoints(npoints, nil)
+		walls := map[int]int64{}
+		for i := 0; i < npoints; i++ {
+			switch rng.Intn(3) {
+			case 0: // unprofiled
+			case 1: // a deliberate wall collision class
+				walls[i] = 40
+			default:
+				walls[i] = 1 + int64(rng.Intn(100))
+			}
+		}
+		prof := profileFor(t, pts, walls)
+		base, err := PartitionWeighted("stable", false, pts, n, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 5; rep++ {
+			plan, err := PartitionWeighted("stable", false, pts, n, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := plan.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("trial %d rep %d: weighted plan not byte-stable:\n%s\nvs\n%s", trial, rep, want, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sweep
+
+// Budgeted execution: explore's stopping rule. A Budget caps how much
+// exact-timing simulation a search may buy, either by point count or
+// by profile-predicted wall time, and is charged *before* each
+// promotion runs (prediction, not measurement — the decision has to
+// be made up front).
+//
+// Determinism note: a point budget spends the same way regardless of
+// cache or profile state, so searches under it are deterministic per
+// (manifest, seed, budget). A wall budget charges predictions read
+// from the profile, which warms as runs accumulate — two runs with
+// different profile states may admit different prefixes. Tests and CI
+// pin point budgets for that reason.
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Budget is a consumable allowance of timing-simulation promotions.
+// Zero fields are unlimited in that dimension. Not safe for
+// concurrent use — charge it from the search loop, not from engine
+// workers.
+type Budget struct {
+	// Points caps promotions by count.
+	Points int
+	// Wall caps promotions by cumulative predicted wall time.
+	Wall time.Duration
+
+	spentPoints int
+	spentWall   time.Duration
+}
+
+// ParseBudget reads the manifest/flag form: a bare integer is a point
+// count, anything else must be a positive Go duration ("90s", "2m")
+// capping predicted wall time.
+func ParseBudget(s string) (Budget, error) {
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return Budget{}, fmt.Errorf("budget %q: point count must be positive", s)
+		}
+		return Budget{Points: n}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return Budget{}, fmt.Errorf("budget %q: want a point count or a duration", s)
+	}
+	if d <= 0 {
+		return Budget{}, fmt.Errorf("budget %q: duration must be positive", s)
+	}
+	return Budget{Wall: d}, nil
+}
+
+// Take charges one promotion with the given predicted wall. It
+// returns false — charging nothing — once the budget is exhausted: a
+// point budget refuses after Points promotions; a wall budget refuses
+// once the charged predictions have reached Wall (the admitting
+// charge may overshoot, so the first promotion is always affordable).
+// A nil budget admits everything.
+func (b *Budget) Take(predicted time.Duration) bool {
+	if b == nil {
+		return true
+	}
+	if b.Points > 0 && b.spentPoints >= b.Points {
+		return false
+	}
+	if b.Wall > 0 && b.spentWall >= b.Wall {
+		return false
+	}
+	b.spentPoints++
+	if predicted > 0 {
+		b.spentWall += predicted
+	}
+	return true
+}
+
+// Exhausted reports whether the next Take would refuse.
+func (b *Budget) Exhausted() bool {
+	if b == nil {
+		return false
+	}
+	return (b.Points > 0 && b.spentPoints >= b.Points) ||
+		(b.Wall > 0 && b.spentWall >= b.Wall)
+}
+
+// Spent reports what has been charged so far.
+func (b *Budget) Spent() (points int, predictedWall time.Duration) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.spentPoints, b.spentWall
+}
+
+// String renders the limit for logs and traces.
+func (b *Budget) String() string {
+	switch {
+	case b == nil:
+		return "unlimited"
+	case b.Points > 0:
+		return fmt.Sprintf("%d points", b.Points)
+	case b.Wall > 0:
+		return fmt.Sprintf("%v predicted wall", b.Wall)
+	}
+	return "unlimited"
+}

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseBudget(t *testing.T) {
+	b, err := ParseBudget("12")
+	if err != nil || b.Points != 12 || b.Wall != 0 {
+		t.Fatalf("ParseBudget(12) = %+v, %v", b, err)
+	}
+	b, err = ParseBudget("2m")
+	if err != nil || b.Points != 0 || b.Wall != 2*time.Minute {
+		t.Fatalf("ParseBudget(2m) = %+v, %v", b, err)
+	}
+	for _, s := range []string{"0", "-3", "0s", "-5m", "lots", ""} {
+		if _, err := ParseBudget(s); err == nil {
+			t.Errorf("ParseBudget(%q) accepted", s)
+		}
+	}
+	if _, err := ParseBudget("-3"); !strings.Contains(err.Error(), "must be positive") {
+		t.Errorf("ParseBudget(-3) error %v, want point-count complaint", err)
+	}
+}
+
+func TestBudgetPoints(t *testing.T) {
+	b := &Budget{Points: 2}
+	if !b.Take(time.Second) || !b.Take(time.Second) {
+		t.Fatal("budget refused admissions it had room for")
+	}
+	if b.Take(time.Second) {
+		t.Fatal("budget admitted a third point against Points=2")
+	}
+	if !b.Exhausted() {
+		t.Fatal("spent budget not exhausted")
+	}
+	pts, wall := b.Spent()
+	if pts != 2 || wall != 2*time.Second {
+		t.Fatalf("Spent() = %d, %v", pts, wall)
+	}
+}
+
+// A wall budget admits while under the cap and charges the full
+// prediction on admission, so the last admission may overshoot —
+// predictions are estimates, and refusing would strand the budget's
+// tail unspent.
+func TestBudgetWallOvershootOnAdmit(t *testing.T) {
+	b := &Budget{Wall: 3 * time.Second}
+	if !b.Take(2 * time.Second) {
+		t.Fatal("refused first admission")
+	}
+	if !b.Take(5 * time.Second) { // under cap when asked; charge overshoots
+		t.Fatal("refused admission while under the wall cap")
+	}
+	if b.Take(time.Millisecond) {
+		t.Fatal("admitted past an exhausted wall")
+	}
+	if _, wall := b.Spent(); wall != 7*time.Second {
+		t.Fatalf("spent wall %v, want 7s", wall)
+	}
+}
+
+func TestBudgetNilAndString(t *testing.T) {
+	var b *Budget
+	if !b.Take(time.Hour) || b.Exhausted() {
+		t.Fatal("nil budget must admit everything")
+	}
+	if got := b.String(); got != "unlimited" {
+		t.Fatalf("nil String() = %q", got)
+	}
+	if got := (&Budget{Points: 8}).String(); got != "8 points" {
+		t.Fatalf("points String() = %q", got)
+	}
+	if got := (&Budget{Wall: time.Minute}).String(); !strings.Contains(got, "1m0s") {
+		t.Fatalf("wall String() = %q", got)
+	}
+}

@@ -244,3 +244,76 @@ func TestEngineFlightPanicKeyWrapped(t *testing.T) {
 	}()
 	eng.Run([]Point{{Key: "bad", Fingerprint: "fp-bad", Run: func() Outcome { panic("boom") }}})
 }
+
+// TestEnginesSharingFlightLeaderPanicFailsFollowers is the satellite
+// audit of the serve daemon's failure path: when two engines sharing
+// one flight submit an overlapping point concurrently and the
+// *leader's* simulation panics, the follower must observe the failure
+// — re-raising the leader's panic key-wrapped — never hang on the
+// done channel and never adopt a zero Outcome as a real result. The
+// overlap is raced under -race; attempts where both engines led (no
+// overlap) retry until a genuine follower adopted the panic.
+func TestEnginesSharingFlightLeaderPanicFailsFollowers(t *testing.T) {
+	for attempt := 0; attempt < 100; attempt++ {
+		cache := openT(t, "s")
+		var flight Flight
+		var runs atomic.Int32
+		var startOnce sync.Once
+		started := make(chan struct{})
+		release := make(chan struct{})
+		point := Point{
+			Key:         "overlap",
+			Fingerprint: "fp-overlap-panic",
+			Run: func() Outcome {
+				runs.Add(1)
+				startOnce.Do(func() { close(started) })
+				<-release
+				panic("simulation blew up")
+			},
+		}
+
+		type engineEnd struct {
+			recovered any
+			returned  bool
+		}
+		ends := make(chan engineEnd, 2)
+		launch := func() {
+			go func() {
+				var e engineEnd
+				defer func() { e.recovered = recover(); ends <- e }()
+				eng := &Engine{Jobs: 2, Cache: cache, Flight: &flight}
+				eng.Run([]Point{point})
+				e.returned = true
+			}()
+		}
+		launch()
+		<-started // the leader is inside its simulation
+		launch()  // the second engine overlaps (or races in late and leads)
+		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+		close(release)
+
+		timeout := time.After(30 * time.Second)
+		var got [2]engineEnd
+		for i := range got {
+			select {
+			case got[i] = <-ends:
+			case <-timeout:
+				t.Fatal("an engine hung after the leader's panic — follower never unblocked")
+			}
+		}
+		for i, e := range got {
+			if e.returned {
+				t.Fatalf("engine %d returned normally from a panicked point (zero Outcome adopted?)", i)
+			}
+			if !strings.Contains(fmt.Sprint(e.recovered), `point "overlap"`) {
+				t.Fatalf("engine %d recovered %v, want the key-wrapped leader panic", i, e.recovered)
+			}
+		}
+		if runs.Load() == 1 {
+			return // exactly one simulation: the other engine followed and adopted the panic
+		}
+		// Both engines led their own call (the second arrived after the
+		// first completed): the follower path was not exercised; retry.
+	}
+	t.Fatal("engines never overlapped on the panicking point in 100 attempts")
+}

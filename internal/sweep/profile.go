@@ -123,8 +123,15 @@ func (p *Profile) ObserveDigest(digest string, wall time.Duration) {
 	p.fold(digest, wall.Nanoseconds())
 }
 
-// fold applies the EWMA update for one digest.
+// fold applies the EWMA update for one digest. Non-positive walls are
+// dropped here too, not just in ObserveDigest: Fold replays whole
+// source profiles (shard merges, hand-edited files), and a zero or
+// negative estimate sneaking in would poison both fleet scheduling
+// and explore's cost model.
 func (p *Profile) fold(digest string, ns int64) {
+	if ns <= 0 {
+		return
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if old, ok := p.walls[digest]; ok {
@@ -153,6 +160,48 @@ func (p *Profile) Fold(src *Profile) {
 	for d, ns := range walls {
 		p.fold(d, ns)
 	}
+}
+
+// Predict estimates one point's simulation wall from the digest's
+// profiled EWMA, falling back to the mean across every profiled point
+// (a same-scenario sibling is the best available prior), then to def
+// when the profile is empty or nil — the ladder explore costs
+// candidates with before promoting them against a wall budget.
+func (p *Profile) Predict(digest string, def time.Duration) time.Duration {
+	if p == nil {
+		return def
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ns, ok := p.walls[digest]; ok {
+		return time.Duration(ns)
+	}
+	if m := p.meanLocked(); m > 0 {
+		return m
+	}
+	return def
+}
+
+// MeanWall is the mean profiled wall across all points (0 when the
+// profile is empty or nil).
+func (p *Profile) MeanWall() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.meanLocked()
+}
+
+func (p *Profile) meanLocked() time.Duration {
+	if len(p.walls) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, ns := range p.walls {
+		sum += ns
+	}
+	return time.Duration(sum / int64(len(p.walls)))
 }
 
 // lockName guards Flush's read-overlay-rename cycle inside a cache

@@ -222,3 +222,71 @@ func TestEngineCacheHitDoesNotProfile(t *testing.T) {
 		t.Fatalf("cache hit profiled: %d entries", prof.Len())
 	}
 }
+
+// TestProfileRejectsNonPositiveWalls pins the satellite bugfix: zero
+// and negative observations (fake clocks, clock skew) must not enter
+// the EWMA — neither through Observe nor through fold/Fold — because
+// both fleet scheduling and explore's cost model read these
+// estimates.
+func TestProfileRejectsNonPositiveWalls(t *testing.T) {
+	p, err := LoadProfile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe("fp", 0)
+	p.Observe("fp", -time.Second)
+	if p.Len() != 0 {
+		t.Fatalf("non-positive observations created %d estimates", p.Len())
+	}
+	p.Observe("fp", 10*time.Millisecond)
+	p.Observe("fp", 0)
+	p.Observe("fp", -time.Minute)
+	if w, ok := p.Wall("fp"); !ok || w != 10*time.Millisecond {
+		t.Fatalf("estimate moved to %v after non-positive observations, want 10ms", w)
+	}
+
+	// fold is the shared entry for Fold: a poisoned source estimate
+	// must be skipped, not clamped into a bogus 1ns wall.
+	p.fold(Digest("poison"), 0)
+	p.fold(Digest("poison"), -5)
+	if _, ok := p.Wall("poison"); ok {
+		t.Fatal("fold admitted a non-positive wall")
+	}
+	p.fold(Digest("fp"), 0) // existing estimate must not move either
+	if w, _ := p.Wall("fp"); w != 10*time.Millisecond {
+		t.Fatalf("fold(0) moved the estimate to %v", w)
+	}
+}
+
+// TestProfilePredictLadder pins explore's cost model: a profiled
+// digest predicts its own EWMA; an unprofiled digest predicts the
+// profile mean; an empty (or nil) profile predicts the caller's
+// default.
+func TestProfilePredictLadder(t *testing.T) {
+	var nilProf *Profile
+	if got := nilProf.Predict("d", 7*time.Second); got != 7*time.Second {
+		t.Fatalf("nil profile predicted %v", got)
+	}
+	if got := nilProf.MeanWall(); got != 0 {
+		t.Fatalf("nil profile mean = %v", got)
+	}
+
+	p, err := LoadProfile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Predict(Digest("a"), 3*time.Second); got != 3*time.Second {
+		t.Fatalf("empty profile predicted %v, want the default", got)
+	}
+	p.Observe("a", 10*time.Millisecond)
+	p.Observe("b", 30*time.Millisecond)
+	if got := p.Predict(Digest("a"), time.Second); got != 10*time.Millisecond {
+		t.Fatalf("profiled digest predicted %v, want its own estimate", got)
+	}
+	if got := p.Predict(Digest("zzz"), time.Second); got != 20*time.Millisecond {
+		t.Fatalf("unprofiled digest predicted %v, want the 20ms mean", got)
+	}
+	if got := p.MeanWall(); got != 20*time.Millisecond {
+		t.Fatalf("MeanWall = %v", got)
+	}
+}
