@@ -6,6 +6,7 @@ package main
 // serves many search configurations.
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,7 +19,7 @@ func (a *app) cmdExplore(args []string) int {
 	fs := a.newFlagSet("explore")
 	f := addSweepFlags(fs)
 	strategy := fs.String("strategy", "", "search strategy: random or halving (default: the manifest's, else random)")
-	seed := fs.Int64("seed", -1, "search RNG seed (default: the manifest's, else 0); runs are deterministic per (manifest, seed, budget)")
+	seed := fs.Int64("seed", 0, "search RNG seed (default: the manifest's, else 0); runs are deterministic per (manifest, seed, budget)")
 	budget := fs.String("budget", "", "stopping rule: a point count (\"32\") or a predicted-wall duration (\"2m\"); default: the manifest's, else 32")
 	tracePath := fs.String("trace", "explore.json", "write the generation-by-generation search trace to this file (\"\" = skip)")
 	csvPath := fs.String("csv", "", "also write the frontier table as CSV to this file")
@@ -46,9 +47,14 @@ func (a *app) cmdExplore(args []string) int {
 	}
 	opt := a.options(f)
 	p := explore.Params{Strategy: *strategy, Budget: *budget}
-	if *seed >= 0 {
-		p.Seed = seed
-	}
+	// Override the manifest's seed only when -seed was explicitly set
+	// (no sentinel value: every int64, negatives included, is a valid
+	// seed).
+	fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "seed" {
+			p.Seed = seed
+		}
+	})
 	rep, err := explore.Run(sc, opt, p)
 	if err != nil {
 		return a.errorf("%v", err)

@@ -231,53 +231,83 @@ func (s *Search) feasibleIdx(i int) bool {
 // Sample draws up to n unvisited feasible point indexes, returned in
 // ascending order. Small spaces enumerate the feasible set once and
 // draw by partial Fisher-Yates; large spaces rejection-sample with a
-// bounded attempt count. Either way the draw is a pure function of
-// the seeded RNG state, so repeated searches visit identical points.
+// bounded attempt count, and when that comes up short — the remainder
+// is nearly drained, or constraints are dense — they fall back to one
+// exact enumeration of the unvisited feasible remainder, so a search
+// never ends while budget and feasible points remain. Either way the
+// draw is a pure function of the seeded RNG state, so repeated
+// searches visit identical points.
 func (s *Search) Sample(n int) []int {
 	if n < 1 {
 		n = 1
 	}
-	if s.sp.Size() <= smallSpace {
-		if !s.poolBuilt {
-			s.poolBuilt = true
-			for i := 0; i < s.sp.Size(); i++ {
-				if s.feasibleIdx(i) {
-					s.pool = append(s.pool, i)
-				} else {
-					s.infeasible++
-				}
-			}
-		}
-		if n > len(s.pool) {
-			n = len(s.pool)
-		}
-		for j := 0; j < n; j++ {
-			k := j + s.rng.Intn(len(s.pool)-j)
-			s.pool[j], s.pool[k] = s.pool[k], s.pool[j]
-		}
-		picked := append([]int{}, s.pool[:n]...)
-		s.pool = s.pool[n:]
-		for _, i := range picked {
-			s.visited[i] = true
-		}
-		sort.Ints(picked)
-		return picked
-	}
 	var out []int
-	for attempts := 0; len(out) < n && attempts < n*rejectionFactor; attempts++ {
-		i := s.rng.Intn(s.sp.Size())
+	if s.sp.Size() > smallSpace && !s.poolBuilt {
+		for attempts := 0; len(out) < n && attempts < n*rejectionFactor; attempts++ {
+			i := s.rng.Intn(s.sp.Size())
+			if s.visited[i] {
+				continue
+			}
+			s.visited[i] = true
+			if !s.feasibleIdx(i) {
+				s.infeasible++
+				continue
+			}
+			out = append(out, i)
+		}
+		if len(out) == n {
+			sort.Ints(out)
+			return out
+		}
+		s.opts.Logf("explore %s: rejection sampling short (%d/%d); enumerating the unvisited remainder\n",
+			s.sc.Name, len(out), n)
+	}
+	s.buildPool()
+	out = append(out, s.drawPool(n-len(out))...)
+	sort.Ints(out)
+	return out
+}
+
+// buildPool enumerates the unvisited feasible remainder exactly.
+// Small spaces build it on the first Sample; large spaces only when
+// rejection sampling has come up short, so the O(size) scan happens
+// at most once per search.
+func (s *Search) buildPool() {
+	if s.poolBuilt {
+		return
+	}
+	s.poolBuilt = true
+	for i := 0; i < s.sp.Size(); i++ {
 		if s.visited[i] {
 			continue
 		}
-		s.visited[i] = true
-		if !s.feasibleIdx(i) {
+		if s.feasibleIdx(i) {
+			s.pool = append(s.pool, i)
+		} else {
 			s.infeasible++
-			continue
 		}
-		out = append(out, i)
 	}
-	sort.Ints(out)
-	return out
+}
+
+// drawPool removes up to n pool entries by partial Fisher-Yates and
+// marks them visited.
+func (s *Search) drawPool(n int) []int {
+	if n > len(s.pool) {
+		n = len(s.pool)
+	}
+	if n <= 0 {
+		return nil
+	}
+	for j := 0; j < n; j++ {
+		k := j + s.rng.Intn(len(s.pool)-j)
+		s.pool[j], s.pool[k] = s.pool[k], s.pool[j]
+	}
+	picked := append([]int{}, s.pool[:n]...)
+	s.pool = s.pool[n:]
+	for _, i := range picked {
+		s.visited[i] = true
+	}
+	return picked
 }
 
 // Screen evaluates one generation through the analytic backend (no
@@ -338,15 +368,22 @@ func (s *Search) Rank(cands []*cand) []*cand {
 	return out
 }
 
-// EvalTiming promotes ranked candidates to a timing fidelity: budget
-// is charged per candidate in rank order (prediction from the wall
-// profile), the admitted prefix is simulated through the sweep engine
-// (cache, flight, and profile compose), and the generation lands in
-// the trace. Returns the evaluated candidates with timing objectives.
+// EvalTiming promotes ranked candidates to a timing fidelity: at the
+// exact rung the budget is charged per candidate in rank order
+// (prediction from the wall profile) and only the admitted prefix
+// runs; the admitted candidates are simulated through the sweep
+// engine (cache, flight, and profile compose), and the generation
+// lands in the trace. Returns the evaluated candidates with timing
+// objectives.
 //
-// Every admitted promotion charges the budget whether or not the
-// cache already holds its result — that is what keeps point-budgeted
-// searches deterministic across cache states.
+// Only the exact rung spends the budget: ExploreSpec.Budget caps
+// exact-timing promotions, and the proxy rung — a screening fidelity
+// whose size the halving ladder already bounds to budget*eta — would
+// otherwise exhaust the whole allowance on any space larger than
+// budget*eta and admit nothing to the final rung. Every admitted
+// exact promotion charges the budget whether or not the cache already
+// holds its result — that is what keeps point-budgeted searches
+// deterministic across cache states.
 func (s *Search) EvalTiming(ranked []*cand, fidelity string) ([]*cand, error) {
 	var admitted []*cand
 	for _, c := range ranked {
@@ -354,7 +391,8 @@ func (s *Search) EvalTiming(ranked []*cand, fidelity string) ([]*cand, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !s.budget.Take(s.opts.Profile.Predict(pc.digest, defaultPredicted)) {
+		if fidelity == FidelityTiming &&
+			!s.budget.Take(s.opts.Profile.Predict(pc.digest, defaultPredicted)) {
 			break
 		}
 		if c.eval != nil {

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"bytes"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -288,6 +289,104 @@ func TestExploreProxyRungDistinctDigests(t *testing.T) {
 	}
 	if !sawProxy || !sawTiming {
 		t.Fatalf("ladder missing a rung: proxy=%v timing=%v", sawProxy, sawTiming)
+	}
+}
+
+// Regression: the proxy rung must not spend the exact-timing budget.
+// On any space larger than budget*eta the halving ladder's screened
+// survivor set exceeds the point budget; charging the proxy rung used
+// to exhaust the whole allowance there and admit nothing to the final
+// rung — empty frontier, nil Best.
+func TestExploreHalvingProxyLargeSpaceReachesExactRung(t *testing.T) {
+	sc := miniScenario()
+	sc.Axes = []scenario.Axis{
+		{Name: "lanes", Values: []scenario.Value{2.0, 4.0, 8.0, 16.0}},
+		{Name: "packet_bytes", Values: []scenario.Value{64.0, 128.0, 256.0}},
+		{Name: "dev_packet_bytes", Values: []scenario.Value{64.0, 128.0}},
+	}
+	sc.Explore.Strategy = "halving"
+	sc.Explore.Proxy = &scenario.ProxySpec{Domains: 2}
+	rep, err := Run(sc, scenario.Options{Jobs: 2}, Params{Budget: "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timing *Generation
+	for _, g := range rep.Trace.Generations {
+		if g.Fidelity == FidelityTiming {
+			timing = g
+		}
+	}
+	if timing == nil || len(timing.Evals) != 2 {
+		t.Fatalf("exact rung admitted %v evals, want the full budget of 2 (generations: %+v)",
+			timing, rep.Trace.Generations)
+	}
+	if got := rep.Trace.Summary.BudgetPoints; got != 2 {
+		t.Fatalf("budget charged %d points, want 2 (the exact rung only)", got)
+	}
+	if rep.Trace.Summary.Best == nil || len(rep.Frontier.Rows) == 0 {
+		t.Fatalf("empty frontier: best=%+v, %d rows", rep.Trace.Summary.Best, len(rep.Frontier.Rows))
+	}
+}
+
+// Large spaces rejection-sample; when dense constraints (or a nearly
+// drained remainder) defeat the bounded attempt budget, Sample must
+// fall back to enumerating the unvisited feasible remainder instead of
+// returning empty and ending the search early.
+func TestExploreSampleLargeSpaceFallback(t *testing.T) {
+	vals := func(n int) []scenario.Value {
+		out := make([]scenario.Value, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	sc := miniScenario()
+	sc.Axes = []scenario.Axis{
+		{Name: "lanes", Values: vals(64)},
+		{Name: "packet_bytes", Values: vals(64)},
+		{Name: "dev_packet_bytes", Values: vals(17)},
+	}
+	one := 1.0
+	sc.Explore.Constraints = []scenario.Constraint{
+		{Axis: "lanes", Max: &one},
+		{Axis: "packet_bytes", Max: &one},
+	}
+	sp, err := sc.Space(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() <= smallSpace {
+		t.Fatalf("space size %d does not exercise the rejection-sampling path", sp.Size())
+	}
+	s := &Search{
+		sc:      sc,
+		sp:      sp,
+		spec:    *sc.Explore,
+		rng:     rand.New(rand.NewSource(7)),
+		visited: map[int]bool{},
+	}
+	// 17 feasible points in ~70k: rejection sampling cannot fill a
+	// 16-point generation within its attempt budget.
+	seen := map[int]bool{}
+	got := s.Sample(16)
+	if len(got) != 16 {
+		t.Fatalf("Sample(16) returned %d points; fallback enumeration missing", len(got))
+	}
+	rest := s.Sample(16)
+	if len(rest) != 1 {
+		t.Fatalf("second Sample returned %d points, want the 1 remaining feasible point", len(rest))
+	}
+	for _, i := range append(got, rest...) {
+		if seen[i] {
+			t.Fatalf("point %d sampled twice", i)
+		}
+		seen[i] = true
+		if !s.feasibleIdx(i) {
+			t.Fatalf("sampled infeasible point %d", i)
+		}
+	}
+	if extra := s.Sample(16); len(extra) != 0 {
+		t.Fatalf("drained space still produced %d points", len(extra))
 	}
 }
 

@@ -56,7 +56,11 @@ func (random) Run(s *Search) error {
 // exact-timing rung at the point budget, screen it analytically, then
 // (optionally) run the survivors through the proxy rung — a
 // partitioned short-quantum timing build, cheap but approximate —
-// before spending exact simulation only on the final survivors.
+// before spending exact simulation only on the final survivors. Only
+// that last rung charges the budget: the analytic screen and the
+// proxy rung are screening fidelities (EvalTiming enforces this), so
+// the ladder can be budget*eta^rungs wide without starving the exact
+// rung.
 type halving struct{}
 
 func (halving) Name() string { return "halving" }
