@@ -20,6 +20,9 @@
 #                   fig4-derived objective, run twice from fresh caches
 #                   to verify byte-identical frontiers/traces, with the
 #                   trace proving the screen pruned the space
+#   make hetsmoke - heterogeneous farms: deterministic mixed-kind
+#                   sweeps, per-tenant contention metrics, and the
+#                   pareq band under -domains 4
 #   make fuzz     - short native-fuzz pass over the manifest and shard
 #                   plan parsers (FUZZTIME per target, default 10s)
 #   make golden   - golden-row conformance suite (all nine experiments)
@@ -35,7 +38,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke servesmoke exploresmoke fuzz golden cover equiv ci bench benchcheck figures clean
+.PHONY: all build vet lint test race examples smoke shardsmoke fleetsmoke servesmoke exploresmoke parallelsmoke hetsmoke fuzz golden cover equiv ci bench benchcheck figures clean
 
 # Minimum total statement coverage (percent) make cover enforces.
 COVER_FLOOR ?= 75
@@ -152,6 +155,26 @@ exploresmoke:
 	@echo "exploresmoke: deterministic frontier, optimum found, warm re-run fully cached"
 	@rm -rf $(EXPLORESMOKE_DIR)
 
+# Heterogeneous smoke: the mixed-kind farm manifest swept twice from
+# fresh caches must render byte-identical rows, the two-tenant
+# contention sweep must surface per-tenant slowdown and fairness, and
+# both manifests must stay inside the 5% pareq band under -domains 4.
+HETSMOKE_DIR := .hetsmoke
+hetsmoke:
+	@rm -rf $(HETSMOKE_DIR) && mkdir -p $(HETSMOKE_DIR)
+	$(GO) run ./cmd/accesys sweep -nocache -jobs 4 testdata/hetfarm.json > $(HETSMOKE_DIR)/farm1.txt
+	$(GO) run ./cmd/accesys sweep -nocache -jobs 4 testdata/hetfarm.json > $(HETSMOKE_DIR)/farm2.txt
+	@cmp $(HETSMOKE_DIR)/farm1.txt $(HETSMOKE_DIR)/farm2.txt || \
+		{ echo "hetsmoke: fresh-cache hetfarm sweeps differ"; exit 1; }
+	$(GO) run ./cmd/accesys sweep -nocache -jobs 4 testdata/tenants.json > $(HETSMOKE_DIR)/tenants.txt
+	@grep -q "t0_slowdown" $(HETSMOKE_DIR)/tenants.txt && \
+		grep -q "t1_slowdown" $(HETSMOKE_DIR)/tenants.txt && \
+		grep -q "fairness" $(HETSMOKE_DIR)/tenants.txt || \
+		{ echo "hetsmoke: per-tenant metrics missing:"; cat $(HETSMOKE_DIR)/tenants.txt; exit 1; }
+	$(GO) run ./cmd/accesys pareq -nocache -domains 4 -tol 0.05 testdata/hetfarm.json testdata/tenants.json
+	@echo "hetsmoke: deterministic rows, tenant metrics present, pareq within band"
+	@rm -rf $(HETSMOKE_DIR)
+
 # Parallel smoke: run the fig4 matrix partitioned into 4 tick-domains
 # and audit every point's divergence against the sequential loop via
 # the pareq command — the conservative barrier scheme must stay inside
@@ -184,7 +207,7 @@ cover:
 equiv:
 	$(GO) run ./cmd/accesys equiv fig2 fig3 fig4 fig5 fig6 tab4 fig7 fig8 fig9
 
-ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke exploresmoke parallelsmoke fuzz golden bench benchcheck cover
+ci: lint vet race examples smoke shardsmoke fleetsmoke servesmoke exploresmoke parallelsmoke hetsmoke fuzz golden bench benchcheck cover
 
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' .

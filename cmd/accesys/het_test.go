@@ -1,0 +1,88 @@
+package main
+
+// End-to-end coverage of the heterogeneous manifests: golden rows for
+// the mixed-kind farm and the two-tenant contention scenario (quick
+// scale), byte-determinism across fresh caches and worker counts, the
+// per-tenant metric surface, and the pareq divergence audit under
+// -domains 4. Regenerate the golden files with
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/accesys -run TestHetGoldenRows
+//
+// and review the diff like any other code change.
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+var hetManifests = []string{"hetfarm", "tenants"}
+
+func hetSweep(t *testing.T, args ...string) string {
+	t.Helper()
+	code, rows, errOut := testApp(t, args...)
+	if code != 0 {
+		t.Fatalf("sweep %v exit %d:\n%s", args, code, errOut)
+	}
+	return rows
+}
+
+func TestHetGoldenRows(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, name := range hetManifests {
+		rows := hetSweep(t, "sweep", "-nocache", "../../testdata/"+name+".json")
+		path := "../../testdata/golden/" + name + ".txt"
+		if update {
+			if err := os.WriteFile(path, []byte(rows), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		golden, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run UPDATE_GOLDEN=1 go test ./cmd/accesys -run TestHetGoldenRows): %v", err)
+		}
+		if got, want := stripNotes(rows), stripNotes(string(golden)); got != want {
+			t.Fatalf("%s rows drifted from golden:\n--- got\n%s\n--- want\n%s", name, got, want)
+		}
+	}
+}
+
+func TestHetSweepDeterministicAcrossJobs(t *testing.T) {
+	// Two fresh-cache runs and -jobs 1 vs -jobs 4 must render
+	// byte-identical rows: heterogeneous points are fingerprint-carried
+	// and deterministic per config.
+	for _, name := range hetManifests {
+		manifest := "../../testdata/" + name + ".json"
+		one := hetSweep(t, "sweep", "-nocache", "-jobs", "1", manifest)
+		again := hetSweep(t, "sweep", "-nocache", "-jobs", "1", manifest)
+		four := hetSweep(t, "sweep", "-nocache", "-jobs", "4", manifest)
+		if a, b := stripNotes(one), stripNotes(again); a != b {
+			t.Fatalf("%s not deterministic across fresh caches:\n--- first\n%s\n--- second\n%s", name, a, b)
+		}
+		if a, b := stripNotes(one), stripNotes(four); a != b {
+			t.Fatalf("%s differs between -jobs 1 and -jobs 4:\n--- jobs1\n%s\n--- jobs4\n%s", name, a, b)
+		}
+	}
+}
+
+func TestTenantSweepReportsPerTenantMetrics(t *testing.T) {
+	rows := hetSweep(t, "sweep", "-nocache", "../../testdata/tenants.json")
+	for _, col := range []string{"t0_slowdown", "t1_slowdown", "t0_solo_ns", "fairness"} {
+		if !strings.Contains(rows, col) {
+			t.Fatalf("tenant sweep missing %s column:\n%s", col, rows)
+		}
+	}
+}
+
+func TestHetPareqWithinBand(t *testing.T) {
+	// The acceptance bound: both heterogeneous manifests run under
+	// -domains 4 within the 5% pareq divergence band.
+	for _, name := range hetManifests {
+		code, out, errOut := testApp(t, "pareq", "-nocache", "-domains", "4", "-tol", "0.05",
+			"../../testdata/"+name+".json")
+		if code != 0 {
+			t.Fatalf("pareq %s exit %d:\n%s%s", name, code, out, errOut)
+		}
+	}
+}

@@ -176,6 +176,19 @@ func TestServeSmokeDaemon(t *testing.T) {
 		t.Fatalf("daemon rows differ from direct sweep:\n--- daemon\n%s\n--- direct\n%s", got, want)
 	}
 
+	// A manifest carrying an explore stanza must bounce with a clear
+	// 422 naming the stanza — the daemon used to strip it silently and
+	// sweep the full matrix instead of searching it.
+	exploreManifest := strings.Replace(string(manifest), `"axes"`,
+		`"explore": {"strategy": "random", "budget": "4"}, "axes"`, 1)
+	code, body, _ = servePost(t, base, exploreManifest, "smoke")
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("explore manifest submit: %d %v, want 422", code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "explore") {
+		t.Fatalf("explore rejection must name the stanza: %v", body)
+	}
+
 	// Graceful shutdown: SIGTERM drains and exits 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)

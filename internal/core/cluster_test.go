@@ -1,0 +1,186 @@
+package core
+
+// Heterogeneous clusters: slot validation, config resolution, mixed-kind
+// functional correctness, and the topology-derived domain clamp.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"accesys/internal/accel"
+	"accesys/internal/driver"
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+)
+
+func TestValidateCluster(t *testing.T) {
+	for _, c := range []struct {
+		slots []ClusterSlot
+		ok    bool
+	}{
+		{nil, true},
+		{[]ClusterSlot{{Kind: "gemm", N: 2}}, true},
+		{[]ClusterSlot{{Kind: "gemm", N: 1}, {Kind: "vit", N: 1}, {Kind: "hpc", N: 3}}, true},
+		{[]ClusterSlot{{Kind: "tpu", N: 1}}, false},
+		{[]ClusterSlot{{Kind: "gemm", N: 0}}, false},
+		{[]ClusterSlot{{Kind: "", N: 1}}, false},
+	} {
+		if err := ValidateCluster(c.slots); (err == nil) != c.ok {
+			t.Errorf("ValidateCluster(%v) = %v, want ok=%v", c.slots, err, c.ok)
+		}
+	}
+}
+
+func TestClusterConfigResolution(t *testing.T) {
+	cfg := PCIe8GB()
+	cfg.Cluster = []ClusterSlot{{Kind: "gemm", N: 2}, {Kind: "hpc", N: 1}}
+	cfg = cfg.Resolved()
+	if cfg.Accelerators != 3 || cfg.NumAccels() != 3 {
+		t.Fatalf("cluster did not resolve accelerator count: %d", cfg.Accelerators)
+	}
+	if cfg.DomainCap() != 6 {
+		t.Fatalf("DomainCap = %d, want 3+3", cfg.DomainCap())
+	}
+	for i, want := range []string{"gemm", "gemm", "hpc"} {
+		if got := cfg.MemberKind(i); got != want {
+			t.Fatalf("MemberKind(%d) = %q, want %q", i, got, want)
+		}
+	}
+	// Member configs inherit the base and apply the kind preset.
+	base := cfg.MemberAccel(0)
+	hpc := cfg.MemberAccel(2)
+	if hpc.ClockMHz <= base.ClockMHz || hpc.LocalBufBytes <= base.LocalBufBytes {
+		t.Fatalf("hpc preset not applied: base %+v hpc %+v", base, hpc)
+	}
+	// A homogeneous config stays a 1-member gemm cluster.
+	plain := PCIe8GB().Resolved()
+	if plain.NumAccels() != 1 || plain.MemberKind(0) != "gemm" {
+		t.Fatalf("homogeneous resolution broken: %d %q", plain.NumAccels(), plain.MemberKind(0))
+	}
+}
+
+func TestHeterogeneousClusterFunctional(t *testing.T) {
+	// A mixed gemm+hpc farm computes correct results on both members,
+	// and the hpc member's faster clock shows up as less compute-busy
+	// time for identical work.
+	cfg := PCIe8GB()
+	cfg.Name = "hetero"
+	cfg.Functional = true
+	cfg.Cluster = []ClusterSlot{{Kind: "gemm", N: 1}, {Kind: "hpc", N: 1}}
+	cfg.SMMU.Bypass = true
+	sys := Build(cfg)
+	if len(sys.Accels) != 2 {
+		t.Fatalf("accels = %d, want 2", len(sys.Accels))
+	}
+
+	mk := func(i int, lo, hi uint64) *driver.Driver {
+		return driver.New(fmt.Sprintf("hetero.drv%d", i), sys.EQ, sys.Stats, driver.Deps{
+			EQ: sys.EQ, MMIO: sys.AttachHostPort(fmt.Sprintf("drv%d", i)),
+			FuncHost: sys.FuncHost(), FuncDev: sys.FuncDev(),
+			SMMU: sys.SMMU, Accel: sys.Accels[i],
+			BARBase:   BARBase + uint64(i)*BARSize,
+			HostRange: mem.Range(lo, hi-lo), DevRange: sys.Cfg.DevRange(),
+			IOVABase: IOVABase,
+		}, driver.Config{NoIOMMU: true})
+	}
+	d0 := mk(0, 0, 128<<20)
+	d1 := mk(1, 128<<20, 256<<20)
+
+	rng := rand.New(rand.NewSource(7))
+	n := 64
+	a0, b0 := randMat(rng, n*n), randMat(rng, n*n)
+	a1, b1 := randMat(rng, n*n), randMat(rng, n*n)
+	var r0, r1 driver.Result
+	d0.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n, A: a0, B: b0}, func(r driver.Result) { r0 = r })
+	d1.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n, A: a1, B: b1}, func(r driver.Result) { r1 = r })
+	sys.Run()
+
+	if r0.C == nil || r1.C == nil {
+		t.Fatal("heterogeneous jobs did not complete")
+	}
+	w0 := accel.MatMulRef(a0, b0, n, n, n)
+	w1 := accel.MatMulRef(a1, b1, n, n, n)
+	for i := range w0 {
+		if r0.C[i] != w0[i] || r1.C[i] != w1[i] {
+			t.Fatalf("heterogeneous member result wrong at %d", i)
+		}
+	}
+	if r1.Job.ComputeBusy >= r0.Job.ComputeBusy {
+		t.Fatalf("hpc member (%v busy) not faster than gemm member (%v busy)",
+			r1.Job.ComputeBusy, r0.Job.ComputeBusy)
+	}
+}
+
+// domainSet counts the distinct domains a plan instantiated.
+func domainSet(p domainPlan) map[*sim.Domain]bool {
+	set := map[*sim.Domain]bool{}
+	for _, d := range append([]*sim.Domain{p.host, p.pcie, p.dev}, p.accels...) {
+		if d != nil {
+			set[d] = true
+		}
+	}
+	return set
+}
+
+func TestDomainClampAtTopologyCap(t *testing.T) {
+	// Requests past DomainCap clamp deterministically onto the cap
+	// plan: same domain count, same member assignment, same timing.
+	cfg := PCIe8GB()
+	cfg.Name = "clamp"
+	cfg.Accelerators = 2
+	cfg.SMMU.Bypass = true
+	cap := cfg.Resolved().DomainCap()
+	if cap != 5 {
+		t.Fatalf("cap = %d, want 3+2", cap)
+	}
+
+	atCap := cfg.Resolved()
+	atCap.Domains = cap
+	over := cfg.Resolved()
+	over.Domains = cap + 1
+	pCap := planDomains(atCap, sim.Nanosecond, sim.Nanosecond)
+	pOver := planDomains(over, sim.Nanosecond, sim.Nanosecond)
+	if got, want := len(domainSet(pOver)), len(domainSet(pCap)); got != want {
+		t.Fatalf("over-cap plan has %d domains, cap plan %d", got, want)
+	}
+
+	run := func(domains int) sim.Tick {
+		c := cfg
+		c.Domains = domains
+		sys := Build(c)
+		drv := driver.New("clamp.drv", sys.EQ, sys.Stats, driver.Deps{
+			EQ: sys.EQ, MMIO: sys.AttachHostPort("drv"),
+			FuncHost: sys.FuncHost(), FuncDev: sys.FuncDev(),
+			SMMU: sys.SMMU, Accel: sys.Accel, BARBase: BARBase,
+			HostRange: sys.Cfg.HostRange(), DevRange: sys.Cfg.DevRange(),
+			IOVABase: IOVABase,
+		}, driver.Config{NoIOMMU: true})
+		var d sim.Tick
+		drv.RunGEMM(driver.GEMMSpec{M: 128, N: 128, K: 128}, func(r driver.Result) { d = r.Job.Duration() })
+		sys.Run()
+		return d
+	}
+	if dCap, dOver := run(cap), run(cap+1); dCap != dOver {
+		t.Fatalf("clamped run diverged: domains=%d -> %v, domains=%d -> %v", cap, dCap, cap+1, dOver)
+	}
+}
+
+func TestDomainPlanFollowsLeaves(t *testing.T) {
+	// With fewer cluster domains than leaf switches, members sharing a
+	// leaf must share a domain (the leaf is their sync point anyway).
+	cfg := PCIe8GB()
+	cfg.Name = "leafdom"
+	cfg.Accelerators = 4
+	cfg.PCIe.Topology.Levels = 2
+	cfg.PCIe.Topology.Fanout = 2
+	cfg = cfg.Resolved()
+	cfg.Domains = 5 // host, pcie, dev + 2 cluster domains for 2 leaves
+	p := planDomains(cfg, sim.Nanosecond, sim.Nanosecond)
+	if p.accels[0] != p.accels[1] || p.accels[2] != p.accels[3] {
+		t.Fatalf("leaf-mates split across domains: %v", p.accels)
+	}
+	if p.accels[0] == p.accels[2] {
+		t.Fatal("both leaves collapsed onto one domain despite two being available")
+	}
+}

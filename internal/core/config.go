@@ -110,6 +110,13 @@ type Config struct {
 	// device bus, and device memory (default 1).
 	Accelerators int
 
+	// Cluster, when non-empty, makes the cluster heterogeneous: slots
+	// expand in order into consecutive endpoints, each member built
+	// from the kind's preset applied over the base Accel config. The
+	// composition overrides Accelerators (which setDefaults rewrites
+	// to the slot-count sum so downstream consumers agree on size).
+	Cluster []ClusterSlot
+
 	// Domains partitions the built system into that many concurrently
 	// ticking event-loop domains under conservative barrier
 	// synchronization (<= 1, the default, is the sequential event loop
@@ -172,6 +179,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.DevBusLat == 0 {
 		c.DevBusLat = 2 * sim.Nanosecond
+	}
+	if len(c.Cluster) > 0 {
+		c.Accelerators = c.NumAccels()
 	}
 	if c.Accelerators == 0 {
 		c.Accelerators = 1

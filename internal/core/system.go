@@ -84,9 +84,14 @@ type domainPlan struct {
 // sequential loop, 2 splits the host from everything below the root
 // complex, 3 separates the PCIe tree from the device complex, 4 gives
 // the accelerator cluster its own domain, and beyond 4 the cluster
-// members round-robin over the extra domains. Requests past the
-// useful maximum (3 + accelerators) are clamped — the surplus domains
-// would hold no components and only pay barrier cost.
+// members spread over the extra domains in blocks that follow the
+// fabric shape (endpoints sharing a leaf switch stay in one domain).
+// Requests past the topology-derived cap (Config.DomainCap) are
+// clamped — the surplus domains would hold no components and only pay
+// barrier cost. scenario.Options applies the same clamp before
+// fingerprinting, so a clamped request can never alias a distinct
+// cache entry; this one is the in-core backstop for direct Build
+// callers.
 //
 // A zero cfg.Quantum defaults to the minimum cut latency the plan
 // instantiates, the largest window that is still timing-exact: a
@@ -96,7 +101,7 @@ type domainPlan struct {
 // (pinned by the `accesys pareq` divergence audit).
 func planDomains(cfg Config, pcieLat, devLat sim.Tick) domainPlan {
 	nd := cfg.Domains
-	if max := 3 + cfg.Accelerators; nd > max {
+	if max := cfg.DomainCap(); nd > max {
 		nd = max
 	}
 	if nd <= 1 {
@@ -135,8 +140,21 @@ func planDomains(cfg Config, pcieLat, devLat sim.Tick) domainPlan {
 		for j := range clusters {
 			clusters[j] = p.par.AddDomain(fmt.Sprintf("%s.accel%d", n, j))
 		}
+		// Partitioning follows the tree: with fewer domains than leaf
+		// switches, members that share a leaf share a domain (the leaf
+		// is their synchronization point anyway); with at least one
+		// domain per leaf, members split into contiguous index blocks,
+		// which on a flat switch is simply per-endpoint.
+		nAcc := cfg.Accelerators
+		nLeaf := cfg.PCIe.Topology.LeafCount(nAcc)
 		for i := range p.accels {
-			p.accels[i] = clusters[i%len(clusters)]
+			var j int
+			if len(clusters) >= nLeaf {
+				j = i * len(clusters) / nAcc
+			} else {
+				j = cfg.PCIe.Topology.LeafOf(i) * len(clusters) / nLeaf
+			}
+			p.accels[i] = clusters[j]
 		}
 	}
 	return p
@@ -144,6 +162,9 @@ func planDomains(cfg Config, pcieLat, devLat sim.Tick) domainPlan {
 
 // Build wires a System from a Config.
 func Build(cfg Config) *System {
+	if err := ValidateCluster(cfg.Cluster); err != nil {
+		panic(err)
+	}
 	cfg.setDefaults()
 	reg := stats.NewRegistry()
 	n := cfg.Name
@@ -295,7 +316,7 @@ func Build(cfg Config) *System {
 	mem.Bind(s.DevBus.AddResponderPort("devmem", cfg.DevRange()), s.DevDRAM.Port())
 
 	for i := 0; i < cfg.Accelerators; i++ {
-		acfg := cfg.Accel
+		acfg := cfg.MemberAccel(i)
 		acfg.BAR = cfg.BARRangeOf(i)
 		var aDom *sim.Domain
 		if plan.par != nil {

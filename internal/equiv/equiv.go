@@ -12,6 +12,7 @@ package equiv
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -49,11 +50,16 @@ type Observation struct {
 // Status classifies one comparison against the tolerance bands.
 type Status string
 
-// Comparison statuses, ordered by severity.
+// Comparison statuses, ordered by severity. NoModel marks points the
+// analytic backend declines by design (scenario.ErrNoModel: contended
+// multi-accelerator runs, 2-level trees, mixed-kind farms, tenant
+// schedules) — they are counted and surfaced, but a declared model gap
+// is not a conformance break, so they do not fail the audit.
 const (
-	Pass Status = "pass"
-	Warn Status = "warn"
-	Fail Status = "fail"
+	Pass    Status = "pass"
+	Warn    Status = "warn"
+	Fail    Status = "fail"
+	NoModel Status = "nomodel"
 )
 
 // Comparison is the per-point, per-metric divergence record.
@@ -164,6 +170,9 @@ type Report struct {
 	Passed      int          `json:"passed"`
 	Warned      int          `json:"warned"`
 	Failed      int          `json:"failed"`
+	// NoModeled counts points the analytic backend declined by design;
+	// they never fail the audit.
+	NoModeled int `json:"nomodel"`
 	// MaxRel is the worst divergence observed.
 	MaxRel float64 `json:"max_rel"`
 	// MeanRel is the mean divergence across comparisons.
@@ -185,14 +194,17 @@ func (r *Report) Result() *scenario.Result {
 		Headers: []string{"point", "metric", "timing_ms", "analytic_ms", "rel", "status"},
 	}
 	for _, c := range r.Comparisons {
+		analytic, rel := fmt.Sprintf("%.3f", c.Analytic/1e6), fmt.Sprintf("%+.1f%%", 100*signedRel(c))
+		if c.Status == NoModel {
+			analytic, rel = "-", "-"
+		}
 		res.AddRow(c.Point, c.Metric,
 			fmt.Sprintf("%.3f", c.Timing/1e6),
-			fmt.Sprintf("%.3f", c.Analytic/1e6),
-			fmt.Sprintf("%+.1f%%", 100*signedRel(c)),
+			analytic, rel,
 			string(c.Status))
 	}
-	res.Note("%d pass, %d warn, %d fail (warn > %.1f%%, fail > %.1f%%)",
-		r.Passed, r.Warned, r.Failed, 100*r.Tolerances.Warn, 100*r.Tolerances.Tol)
+	res.Note("%d pass, %d warn, %d fail, %d nomodel (warn > %.1f%%, fail > %.1f%%)",
+		r.Passed, r.Warned, r.Failed, r.NoModeled, 100*r.Tolerances.Warn, 100*r.Tolerances.Tol)
 	res.Note("divergence: max %.1f%%, mean %.1f%%", 100*r.MaxRel, 100*r.MeanRel)
 	return res
 }
@@ -231,12 +243,21 @@ func TimingObservations(points []sweep.Point, outs []sweep.Outcome) []Observatio
 }
 
 // AnalyticObservations evaluates the analytic backend for every run.
-func AnalyticObservations(sc *scenario.Scenario, runs []scenario.Run, points []sweep.Point) ([]Observation, error) {
+// Runs the backend declines by design (scenario.ErrNoModel) produce no
+// observations; their fingerprints come back in the second return so
+// Compare can classify them "nomodel" instead of missing-counterpart
+// failures. Any other analytic error stays fatal.
+func AnalyticObservations(sc *scenario.Scenario, runs []scenario.Run, points []sweep.Point) ([]Observation, map[string]bool, error) {
 	var obs []Observation
+	nomodel := make(map[string]bool)
 	for i, r := range runs {
 		metrics, err := sc.AnalyticMetrics(r)
+		if errors.Is(err, scenario.ErrNoModel) {
+			nomodel[points[i].Fingerprint] = true
+			continue
+		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		names := make([]string, 0, len(metrics))
 		for name := range metrics {
@@ -253,14 +274,16 @@ func AnalyticObservations(sc *scenario.Scenario, runs []scenario.Run, points []s
 			})
 		}
 	}
-	return obs, nil
+	return obs, nomodel, nil
 }
 
 // Compare joins the two observation sets on (fingerprint, metric) and
 // classifies each pair. Observations missing a counterpart are
 // reported as failures with a NaN divergence — a backend that cannot
-// speak to a point is a conformance break, not a silent skip.
-func Compare(timing, an []Observation, tol Tolerances) []Comparison {
+// speak to a point is a conformance break, not a silent skip — unless
+// the point's fingerprint is in nomodel, in which case the analytic
+// backend declined it by design and the comparison records "nomodel".
+func Compare(timing, an []Observation, nomodel map[string]bool, tol Tolerances) []Comparison {
 	type key struct{ fp, metric string }
 	index := make(map[key]Observation, len(an))
 	for _, o := range an {
@@ -273,8 +296,12 @@ func Compare(timing, an []Observation, tol Tolerances) []Comparison {
 		seen[k] = true
 		a, ok := index[k]
 		if !ok {
+			status := Fail
+			if nomodel[t.Fingerprint] {
+				status = NoModel
+			}
 			comps = append(comps, Comparison{Point: t.Point, Metric: t.Metric,
-				Timing: t.Value, Rel: math.NaN(), Status: Fail})
+				Timing: t.Value, Rel: math.NaN(), Status: status})
 			continue
 		}
 		rel := 0.0
@@ -318,6 +345,8 @@ func Summarize(name string, tol Tolerances, comps []Comparison) *Report {
 			r.Passed++
 		case Warn:
 			r.Warned++
+		case NoModel:
+			r.NoModeled++
 		default:
 			r.Failed++
 		}
@@ -349,12 +378,12 @@ func Run(sc *scenario.Scenario, opt scenario.Options, cli Tolerances) (*Report, 
 	points := sc.Points(runs)
 	// Probe the analytic backend before paying for simulation, so a
 	// scenario without an analytic mapping errors instantly.
-	an, err := AnalyticObservations(sc, runs, points)
+	an, nomodel, err := AnalyticObservations(sc, runs, points)
 	if err != nil {
 		return nil, err
 	}
 	outs := opt.Sweep("equiv/"+sc.Name, points)
 	timing := TimingObservations(points, outs)
 	tol := Resolve(cli, sc.Analytic)
-	return Summarize(sc.Name, tol, Compare(timing, an, tol)), nil
+	return Summarize(sc.Name, tol, Compare(timing, an, nomodel, tol)), nil
 }

@@ -62,7 +62,7 @@ func TestCompareJoinsOnFingerprintAndMetric(t *testing.T) {
 		obs(BackendAnalytic, "a", "exec", 105),
 		obs(BackendAnalytic, "b", "exec", 90),
 	}
-	comps := Compare(timing, an, tol)
+	comps := Compare(timing, an, nil, tol)
 	if len(comps) != 2 {
 		t.Fatalf("comparisons = %d, want 2", len(comps))
 	}
@@ -78,7 +78,7 @@ func TestCompareFlagsMissingCounterparts(t *testing.T) {
 	tol := Tolerances{Tol: 0.5, Warn: 0.25}
 	timing := []Observation{obs(BackendTiming, "only-timing", "exec", 100)}
 	an := []Observation{obs(BackendAnalytic, "only-analytic", "exec", 100)}
-	comps := Compare(timing, an, tol)
+	comps := Compare(timing, an, nil, tol)
 	if len(comps) != 2 {
 		t.Fatalf("comparisons = %d, want 2", len(comps))
 	}
@@ -96,7 +96,7 @@ func TestCompareZeroTiming(t *testing.T) {
 	tol := Tolerances{Tol: 0.15, Warn: 0.075}
 	comps := Compare(
 		[]Observation{obs(BackendTiming, "z", "exec", 0)},
-		[]Observation{obs(BackendAnalytic, "z", "exec", 5)}, tol)
+		[]Observation{obs(BackendAnalytic, "z", "exec", 5)}, nil, tol)
 	if comps[0].Status != Fail {
 		t.Fatalf("nonzero analytic vs zero timing must fail: %+v", comps[0])
 	}
@@ -251,5 +251,137 @@ func TestRunVitScenarioComparesSplit(t *testing.T) {
 	}
 	if !rep.OK() {
 		t.Fatalf("ViT-Base under pcie8gb diverges beyond default tolerance: %+v", rep.Comparisons)
+	}
+}
+
+func TestCompareClassifiesNoModelPoints(t *testing.T) {
+	tol := Tolerances{Tol: 0.15, Warn: 0.075}
+	timing := []Observation{
+		obs(BackendTiming, "modeled", "exec", 100),
+		obs(BackendTiming, "declined", "exec", 100),
+	}
+	an := []Observation{obs(BackendAnalytic, "modeled", "exec", 101)}
+	comps := Compare(timing, an, map[string]bool{"declined": true}, tol)
+	if len(comps) != 2 {
+		t.Fatalf("comparisons = %d, want 2", len(comps))
+	}
+	if comps[0].Status != Pass {
+		t.Fatalf("modeled point: %+v", comps[0])
+	}
+	if comps[1].Status != NoModel || !math.IsNaN(comps[1].Rel) {
+		t.Fatalf("declined point must be nomodel with NaN rel: %+v", comps[1])
+	}
+	r := Summarize("nm", tol, comps)
+	if r.Passed != 1 || r.NoModeled != 1 || r.Failed != 0 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if !r.OK() {
+		t.Fatal("a declared model gap must not fail the audit")
+	}
+}
+
+func TestSummarizeStillFailsUnknownMissingCounterparts(t *testing.T) {
+	// Only declared nomodel points are excused; a genuinely missing
+	// counterpart stays a conformance break.
+	comps := Compare(
+		[]Observation{obs(BackendTiming, "gone", "exec", 100)},
+		nil, nil, Tolerances{Tol: 0.15, Warn: 0.075})
+	r := Summarize("gone", Tolerances{Tol: 0.15, Warn: 0.075}, comps)
+	if r.Failed != 1 || r.OK() {
+		t.Fatalf("missing counterpart not failed: %+v", r)
+	}
+}
+
+func TestRunMultiAccelScenarioIsNoModel(t *testing.T) {
+	// A contended 2-accelerator GEMM point has no analytic counterpart;
+	// the audit must classify it nomodel and still exit clean rather
+	// than hard-failing (the PR-10 equiv bugfix).
+	sc := &scenario.Scenario{
+		Name:     "equiv-multiaccel",
+		Base:     "pcie8gb",
+		Workload: scenario.Workload{Kind: "gemm", N: scenario.Size{Quick: 64, Full: 64}},
+		Axes: []scenario.Axis{
+			{Name: "accelerators", Values: []scenario.Value{1.0, 2.0}},
+		},
+	}
+	rep, err := Run(sc, scenario.Options{Jobs: 2}, Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("audit with declared nomodel points must stay OK: %+v", rep.Comparisons)
+	}
+	if rep.NoModeled != 1 || rep.Passed+rep.Warned != 1 {
+		t.Fatalf("want 1 modeled + 1 nomodel: %+v", rep)
+	}
+	res := rep.Result()
+	var sawDash bool
+	for _, row := range res.Rows {
+		if row[len(row)-1] == string(NoModel) && row[3] == "-" && row[4] == "-" {
+			sawDash = true
+		}
+	}
+	if !sawDash {
+		t.Fatalf("nomodel row must render dashes for analytic/rel: %+v", res.Rows)
+	}
+}
+
+func TestRunHomogeneousFarmUsesSerializationBound(t *testing.T) {
+	// Homogeneous flat farms get the first-order shared-switch bound —
+	// real comparisons, not nomodel rows.
+	sc := &scenario.Scenario{
+		Name:     "equiv-farm-homog",
+		Base:     "pcie8gb",
+		Workload: scenario.Workload{Kind: "farm", N: scenario.Size{Quick: 64, Full: 64}},
+		Axes: []scenario.Axis{
+			{Name: "cluster", Values: []scenario.Value{
+				[]any{map[string]any{"kind": "gemm", "n": 2.0}},
+			}},
+		},
+	}
+	rep, err := Run(sc, scenario.Options{Jobs: 1}, Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoModeled != 0 {
+		t.Fatalf("homogeneous farm must be modeled: %+v", rep.Comparisons)
+	}
+	if !rep.OK() {
+		t.Fatalf("farm bound diverges beyond default tolerance: %+v", rep.Comparisons)
+	}
+}
+
+func TestRunMixedFarmAndTenantsAreNoModel(t *testing.T) {
+	for _, sc := range []*scenario.Scenario{
+		{
+			Name:     "equiv-farm-mixed",
+			Base:     "pcie8gb",
+			Workload: scenario.Workload{Kind: "farm", N: scenario.Size{Quick: 64, Full: 64}},
+			Axes: []scenario.Axis{
+				{Name: "cluster", Values: []scenario.Value{
+					[]any{map[string]any{"kind": "gemm", "n": 1.0}, map[string]any{"kind": "lite", "n": 1.0}},
+				}},
+			},
+		},
+		{
+			Name: "equiv-tenants",
+			Base: "pcie8gb",
+			Workload: scenario.Workload{
+				Kind: "tenants",
+				Tenants: []scenario.TenantSpec{
+					{N: scenario.Size{Quick: 64, Full: 64}},
+					{N: scenario.Size{Quick: 64, Full: 64}},
+				},
+			},
+			Defaults: []scenario.Setting{{Axis: "accelerators", Value: 2.0}},
+		},
+	} {
+		rep, err := Run(sc, scenario.Options{Jobs: 1}, Tolerances{})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !rep.OK() || rep.NoModeled == 0 || rep.Passed+rep.Warned+rep.Failed != 0 {
+			t.Fatalf("%s: want all-nomodel clean audit: %+v", sc.Name, rep)
+		}
 	}
 }

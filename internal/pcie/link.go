@@ -114,10 +114,12 @@ type TLP struct {
 	// old per-TLP onTxDone closure).
 	releaseConn *conn
 
-	// Credit claims held on conns. A TLP traverses at most two links
-	// per direction, so two slots cover the worst case.
-	claimConn [2]*conn
-	claimN    [2]int
+	// Credit claims held on conns. A TLP traverses at most three links
+	// per direction (RC-root, root-leaf, leaf-EP in a 2-level tree),
+	// and under cut-through every hop of the journey can hold its claim
+	// concurrently; four slots cover that worst case with headroom.
+	claimConn [4]*conn
+	claimN    [4]int
 
 	// retired marks a TLP whose journey ended while a hop still held a
 	// credit claim on it (possible under cut-through, where delivery
@@ -189,7 +191,14 @@ func (t *TLP) unclaim(c *conn) int {
 }
 
 // idle reports whether no hop holds a credit claim on t.
-func (t *TLP) idle() bool { return t.claimConn[0] == nil && t.claimConn[1] == nil }
+func (t *TLP) idle() bool {
+	for i := range t.claimConn {
+		if t.claimConn[i] != nil {
+			return false
+		}
+	}
+	return true
+}
 
 // tlpPool recycles TLPs (and their bound step events) within one
 // fabric. It is single-threaded like the event queue it schedules on;

@@ -25,6 +25,11 @@ type Switch struct {
 	fromRC *conn
 
 	addrMap mem.AddrMap // downstream request routing by address
+	// epPort maps a global endpoint index to the local down-port that
+	// reaches it (identity on a flat switch; the leaf port on a 2-level
+	// root; the attachment port on a leaf) — completion routing uses it
+	// because completions carry endpoint indexes, not addresses.
+	epPort []int
 
 	upProcFree   sim.Tick
 	downProcFree sim.Tick
@@ -73,7 +78,7 @@ func (s *Switch) route(t *TLP, upstream bool) *conn {
 		return s.up
 	}
 	if t.Kind == Cpl {
-		return s.downs[t.DstEP]
+		return s.downs[s.epPort[t.DstEP]]
 	}
 	target, ok := s.addrMap.Find(t.Pkt.Addr)
 	if !ok {

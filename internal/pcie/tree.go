@@ -8,11 +8,64 @@ import (
 	"accesys/internal/stats"
 )
 
+// Topology describes the fabric shape between the root complex and
+// the endpoints. The zero value is the paper's flat tree: a single
+// switch with every endpoint attached directly. Levels == 2 inserts a
+// rank of leaf switches below the root switch, with Fanout endpoints
+// hanging off each leaf — traffic between the host and an endpoint
+// then crosses three links (RC-root, root-leaf, leaf-EP) instead of
+// two, and endpoints under different leaves contend only on the
+// shared RC-root segment.
+type Topology struct {
+	// Levels is the switch depth: 0 or 1 = flat, 2 = root + leaves.
+	Levels int
+	// Fanout is the number of endpoints per leaf switch (Levels == 2
+	// only; the last leaf may be partially filled).
+	Fanout int
+}
+
+// Flat reports whether the topology is the single-switch shape.
+func (t Topology) Flat() bool { return t.Levels <= 1 }
+
+// Validate rejects shapes the tree builder cannot construct.
+func (t Topology) Validate() error {
+	switch {
+	case t.Levels < 0 || t.Levels > 2:
+		return fmt.Errorf("pcie: topology levels %d (want 0, 1, or 2)", t.Levels)
+	case t.Levels == 2 && t.Fanout < 1:
+		return fmt.Errorf("pcie: 2-level topology needs fanout >= 1")
+	case t.Levels < 2 && t.Fanout != 0:
+		return fmt.Errorf("pcie: fanout %d requires levels = 2", t.Fanout)
+	}
+	return nil
+}
+
+// LeafCount returns how many leaf-level attachment points serve n
+// endpoints: the leaf switch count for a 2-level tree, or n itself
+// for the flat shape (each endpoint attaches directly to the switch).
+func (t Topology) LeafCount(n int) int {
+	if t.Flat() {
+		return n
+	}
+	return (n + t.Fanout - 1) / t.Fanout
+}
+
+// LeafOf returns the leaf-level attachment point of endpoint i.
+func (t Topology) LeafOf(i int) int {
+	if t.Flat() {
+		return i
+	}
+	return i / t.Fanout
+}
+
 // Config parameterizes the whole PCIe subsystem. Defaults follow the
 // paper's Table II (RC 150 ns, Switch 50 ns).
 type Config struct {
 	// Link applies to both the RC-switch and switch-EP links.
 	Link LinkConfig
+
+	// Topology selects the fabric shape (zero value = flat switch).
+	Topology Topology
 
 	// TLPHeaderBytes is the per-TLP wire overhead: framing + header +
 	// LCRC (default 24).
@@ -91,10 +144,13 @@ func (c Config) Resolved() Config {
 	return c
 }
 
-// Tree is an assembled PCIe fabric: RC <-> Switch <-> EP[i].
+// Tree is an assembled PCIe fabric: RC <-> Switch <-> EP[i] for the
+// flat shape, or RC <-> Switch (root) <-> Leaves[j] <-> EP[i] for the
+// 2-level shape.
 type Tree struct {
 	RC     *RootComplex
-	Switch *Switch
+	Switch *Switch   // the root switch
+	Leaves []*Switch // leaf switches (2-level topologies only)
 	EPs    []*Endpoint
 	cfg    Config
 }
@@ -109,11 +165,15 @@ func NewTree(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config, e
 	if len(epRanges) == 0 {
 		panic(fmt.Sprintf("pcie: %s: at least one endpoint required", name))
 	}
+	if err := cfg.Topology.Validate(); err != nil {
+		panic(fmt.Sprintf("pcie: %s: %v", name, err))
+	}
 
 	t := &Tree{cfg: cfg}
 	pool := &tlpPool{}
 	t.RC = newRootComplex(name+".rc", eq, reg, cfg, pool)
 	t.Switch = newSwitch(name+".switch", eq, reg, cfg)
+	t.Switch.epPort = make([]int, len(epRanges))
 
 	cut := 0
 	if cfg.CutThrough {
@@ -128,16 +188,57 @@ func NewTree(name string, eq *sim.EventQueue, reg *stats.Registry, cfg Config, e
 	t.Switch.up = newConn(name+".sw2rc", eq, cfg.Link, t.RC, cfg.RCBufBytes)
 	t.Switch.up.cutThroughHdr = cut
 
-	for i, ranges := range epRanges {
-		ep := newEndpoint(fmt.Sprintf("%s.ep%d", name, i), i, eq, reg, cfg, pool, ranges)
-		down := newConn(fmt.Sprintf("%s.sw2ep%d", name, i), eq, cfg.Link, ep, cfg.EPBufBytes)
+	if cfg.Topology.Flat() {
+		for i, ranges := range epRanges {
+			ep := newEndpoint(fmt.Sprintf("%s.ep%d", name, i), i, eq, reg, cfg, pool, ranges)
+			down := newConn(fmt.Sprintf("%s.sw2ep%d", name, i), eq, cfg.Link, ep, cfg.EPBufBytes)
+			down.cutThroughHdr = cut
+			ep.up = newConn(fmt.Sprintf("%s.ep%d2sw", name, i), eq, cfg.Link, t.Switch, cfg.SwitchBufBytes)
+			ep.up.OnDrain = ep.wakeDev
+			ep.up.cutThroughHdr = cut
+			t.Switch.downs = append(t.Switch.downs, down)
+			t.Switch.epPort[i] = i
+			for _, r := range ranges {
+				t.Switch.addrMap.Add(r, i)
+			}
+			t.EPs = append(t.EPs, ep)
+		}
+		return t
+	}
+
+	// 2-level shape: a rank of leaf switches between the root switch
+	// and the endpoints. The root's down ports address leaves; each
+	// leaf's down ports address its local endpoints. Direction
+	// detection is unchanged — a leaf's fromRC is its ingress conn
+	// from the root, so root-originated traffic reads as downstream.
+	nLeaf := cfg.Topology.LeafCount(len(epRanges))
+	for j := 0; j < nLeaf; j++ {
+		leaf := newSwitch(fmt.Sprintf("%s.leaf%d", name, j), eq, reg, cfg)
+		leaf.epPort = make([]int, len(epRanges))
+		down := newConn(fmt.Sprintf("%s.sw2l%d", name, j), eq, cfg.Link, leaf, cfg.SwitchBufBytes)
 		down.cutThroughHdr = cut
-		ep.up = newConn(fmt.Sprintf("%s.ep%d2sw", name, i), eq, cfg.Link, t.Switch, cfg.SwitchBufBytes)
+		leaf.fromRC = down
+		leaf.up = newConn(fmt.Sprintf("%s.l%d2sw", name, j), eq, cfg.Link, t.Switch, cfg.SwitchBufBytes)
+		leaf.up.cutThroughHdr = cut
+		t.Switch.downs = append(t.Switch.downs, down)
+		t.Leaves = append(t.Leaves, leaf)
+	}
+	for i, ranges := range epRanges {
+		j := cfg.Topology.LeafOf(i)
+		leaf := t.Leaves[j]
+		ep := newEndpoint(fmt.Sprintf("%s.ep%d", name, i), i, eq, reg, cfg, pool, ranges)
+		down := newConn(fmt.Sprintf("%s.l%d2ep%d", name, j, i), eq, cfg.Link, ep, cfg.EPBufBytes)
+		down.cutThroughHdr = cut
+		ep.up = newConn(fmt.Sprintf("%s.ep%d2l%d", name, i, j), eq, cfg.Link, leaf, cfg.SwitchBufBytes)
 		ep.up.OnDrain = ep.wakeDev
 		ep.up.cutThroughHdr = cut
-		t.Switch.downs = append(t.Switch.downs, down)
+		leaf.downs = append(leaf.downs, down)
+		port := len(leaf.downs) - 1
+		leaf.epPort[i] = port
+		t.Switch.epPort[i] = j
 		for _, r := range ranges {
-			t.Switch.addrMap.Add(r, i)
+			leaf.addrMap.Add(r, port)
+			t.Switch.addrMap.Add(r, j)
 		}
 		t.EPs = append(t.EPs, ep)
 	}

@@ -7,7 +7,9 @@ package scenario
 // compared point by point with no fitted constants.
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"accesys/internal/accel"
 	"accesys/internal/analytic"
@@ -15,6 +17,19 @@ import (
 	"accesys/internal/smmu"
 	"accesys/internal/workload"
 )
+
+// ErrNoModel marks runs the analytic backend has no closed-form
+// counterpart for (multi-accelerator contention outside the farm
+// bound, 2-level tree shapes, mixed-kind farms, tenant schedules).
+// The equivalence harness classifies such points "nomodel" instead of
+// misreporting them as divergence failures; other callers should
+// errors.Is-test for it before treating a missing model as fatal.
+var ErrNoModel = errors.New("no analytic model")
+
+// noModelf wraps ErrNoModel with context.
+func noModelf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrNoModel)...)
+}
 
 // AnalyticSpec configures the equivalence comparison for a scenario.
 // Tolerances are relative divergence |timing-analytic|/timing; the
@@ -171,10 +186,54 @@ func perTileNs(cfg core.Config, k int) float64 {
 	return float64(cycles) * 1000 / cfg.Accel.ClockMHz
 }
 
+// farmStreams derives a farm member's data-path streams: the solo
+// streams floored by the member's 1/k timeshare of the segments every
+// member serializes on. On host paths that is the shared RC<->switch
+// link plus the RC and switch pipelines (each member's private
+// switch-EP link is not the bottleneck) and host memory bandwidth; on
+// the DevMem path the members contend only on device memory. This is
+// the first-order shared-switch serialization bound — exact at k=1,
+// a lower bound on contention beyond it.
+func farmStreams(cfg core.Config, k int) streams {
+	st := streamsOf(cfg)
+	if k <= 1 {
+		return st
+	}
+	kf := float64(k)
+	if cfg.Access == core.DevMem {
+		shared := 1 / st.mem.gbps
+		st.readNsPerByte = math.Max(st.readNsPerByte, kf*shared)
+		st.writeNsPerByte = math.Max(st.writeNsPerByte, kf*shared)
+		return st
+	}
+	f := fabricOf(cfg)
+	sharedSeg := func(payload int) float64 {
+		per := f.SerNs(payload + f.HeaderBytes)
+		if f.RCIINs > per {
+			per = f.RCIINs
+		}
+		if f.SwitchIINs > per {
+			per = f.SwitchIINs
+		}
+		if memNs := float64(payload) / st.mem.gbps; memNs > per {
+			per = memNs
+		}
+		return per / float64(payload)
+	}
+	st.readNsPerByte = math.Max(st.readNsPerByte, kf*sharedSeg(st.readBurst))
+	st.writeNsPerByte = math.Max(st.writeNsPerByte, kf*sharedSeg(st.writeBurst))
+	return st
+}
+
 // gemmModel builds the phase model of one M x N x K GEMM under the
 // resolved config.
 func gemmModel(cfg core.Config, m, n, k int) analytic.GEMMModel {
-	st := streamsOf(cfg)
+	return gemmModelWith(cfg, streamsOf(cfg), m, n, k)
+}
+
+// gemmModelWith builds the phase model over explicit data-path
+// streams (the farm bound swaps in contention-floored ones).
+func gemmModelWith(cfg core.Config, st streams, m, n, k int) analytic.GEMMModel {
 	tilesM, tilesN := m/accel.Dim, n/accel.Dim
 	aPanel := accel.APanelBytes(k)
 	avail := cfg.Accel.LocalBufBytes - accel.BPanelBytes(k) - accel.TileCBytes
@@ -264,14 +323,27 @@ func devWritebackNsPerByte(cfg core.Config) float64 {
 // runs (mirroring the timing outcome's split values).
 func (s *Scenario) AnalyticMetrics(r Run) (map[string]float64, error) {
 	cfg := r.Cfg.Resolved()
+	if !cfg.PCIe.Topology.Flat() {
+		return nil, noModelf("scenario %s: analytic: 2-level tree topology", s.Name)
+	}
 	switch s.Workload.Kind {
 	case "", "gemm":
+		if cfg.Accelerators > 1 {
+			return nil, noModelf("scenario %s: analytic: %d accelerators contend on the fabric", s.Name, cfg.Accelerators)
+		}
+		// A single-member cluster of any kind models exactly: substitute
+		// the member's resolved accelerator config for the base one.
+		cfg.Accel = cfg.MemberAccel(0)
 		if r.N <= 0 || r.N%accel.Dim != 0 {
 			return nil, fmt.Errorf("scenario %s: analytic: bad GEMM size %d", s.Name, r.N)
 		}
 		m := gemmModel(cfg, r.N, r.N, r.N)
 		return map[string]float64{"exec": m.ExecNs()}, nil
 	case "vit":
+		if cfg.Accelerators > 1 {
+			return nil, noModelf("scenario %s: analytic: %d accelerators contend on the fabric", s.Name, cfg.Accelerators)
+		}
+		cfg.Accel = cfg.MemberAccel(0)
 		g := workload.ViT(r.Model)
 		comp := vitComposition(cfg, g)
 		return map[string]float64{
@@ -279,6 +351,25 @@ func (s *Scenario) AnalyticMetrics(r Run) (map[string]float64, error) {
 			"gemm":    comp.GEMMNs,
 			"nongemm": comp.NonGEMMs,
 		}, nil
+	case "farm":
+		// Homogeneous farms on a flat switch get the first-order
+		// serialization bound; mixed-kind members finish at different
+		// times and interleave in ways the bound does not capture.
+		k := cfg.Accelerators
+		kind := cfg.MemberKind(0)
+		for i := 1; i < k; i++ {
+			if cfg.MemberKind(i) != kind {
+				return nil, noModelf("scenario %s: analytic: mixed-kind farm", s.Name)
+			}
+		}
+		cfg.Accel = cfg.MemberAccel(0)
+		if r.N <= 0 || r.N%accel.Dim != 0 {
+			return nil, fmt.Errorf("scenario %s: analytic: bad GEMM size %d", s.Name, r.N)
+		}
+		m := gemmModelWith(cfg, farmStreams(cfg, k), r.N, r.N, r.N)
+		return map[string]float64{"exec": m.ExecNs()}, nil
+	case "tenants":
+		return nil, noModelf("scenario %s: analytic: tenant schedules", s.Name)
 	}
 	return nil, fmt.Errorf("scenario %s: analytic: no model for workload %q", s.Name, s.Workload.Kind)
 }

@@ -450,6 +450,127 @@ func init() {
 		},
 		label: numLabel,
 	})
+
+	register(&axisDef{
+		name:  "cluster",
+		phase: phaseField,
+		doc:   "heterogeneous cluster composition: [{kind, n}, ...] slots expanding to consecutive endpoints (overrides accelerators)",
+		check: func(v Value) error {
+			_, err := clusterOf(v)
+			return err
+		},
+		apply: func(r *Run, v Value) error {
+			slots, err := clusterOf(v)
+			if err != nil {
+				return err
+			}
+			r.Cfg.Cluster = slots
+			return nil
+		},
+		label: func(v Value) string {
+			slots, _ := clusterOf(v)
+			parts := make([]string, len(slots))
+			for i, s := range slots {
+				parts[i] = fmt.Sprintf("%s%d", s.Kind, s.N)
+			}
+			return strings.Join(parts, "-")
+		},
+	})
+
+	register(&axisDef{
+		name:  "topology",
+		phase: phaseField,
+		doc:   `PCIe tree shape: "flat" (one switch) or {levels: 2, fanout} (leaf switches below a root)`,
+		check: func(v Value) error {
+			_, err := topologyOf(v)
+			return err
+		},
+		apply: func(r *Run, v Value) error {
+			t, err := topologyOf(v)
+			if err != nil {
+				return err
+			}
+			r.Cfg.PCIe.Topology = t
+			return nil
+		},
+		label: func(v Value) string {
+			t, _ := topologyOf(v)
+			if t.Flat() {
+				return "flat"
+			}
+			return fmt.Sprintf("t%dx%d", t.Levels, t.Fanout)
+		},
+	})
+}
+
+// clusterOf decodes a cluster axis value: a non-empty array of
+// {kind, n} slot objects summing to at most maxClusterAccels members.
+const maxClusterAccels = 8
+
+func clusterOf(v Value) ([]core.ClusterSlot, error) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("want an array of {kind, n} slots, got %T", v)
+	}
+	if len(arr) == 0 {
+		return nil, fmt.Errorf("cluster composition needs at least one slot")
+	}
+	slots := make([]core.ClusterSlot, 0, len(arr))
+	total := 0
+	for i, e := range arr {
+		m, ok := e.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("slot %d: want an object, got %T", i, e)
+		}
+		var s core.ClusterSlot
+		for k, fv := range m {
+			switch k {
+			case "kind":
+				kind, ok := fv.(string)
+				if !ok {
+					return nil, fmt.Errorf("slot %d: kind: want a string, got %T", i, fv)
+				}
+				s.Kind = kind
+			case "n":
+				f, ok := fv.(float64)
+				if !ok {
+					return nil, fmt.Errorf("slot %d: n: want a number, got %T", i, fv)
+				}
+				s.N = int(f)
+			default:
+				return nil, fmt.Errorf("slot %d: unknown field %q (want kind n)", i, k)
+			}
+		}
+		total += s.N
+		slots = append(slots, s)
+	}
+	if err := core.ValidateCluster(slots); err != nil {
+		return nil, err
+	}
+	if total > maxClusterAccels {
+		return nil, fmt.Errorf("cluster totals %d accelerators (max %d)", total, maxClusterAccels)
+	}
+	return slots, nil
+}
+
+// topologyOf decodes a topology axis value: the string "flat" or a
+// {levels, fanout} object.
+func topologyOf(v Value) (pcie.Topology, error) {
+	if s, ok := v.(string); ok {
+		if s == "flat" {
+			return pcie.Topology{}, nil
+		}
+		return pcie.Topology{}, fmt.Errorf("unknown topology %q (want \"flat\" or {levels, fanout})", s)
+	}
+	m, err := obj(v, []string{"levels", "fanout"})
+	if err != nil {
+		return pcie.Topology{}, err
+	}
+	t := pcie.Topology{Levels: int(m["levels"]), Fanout: int(m["fanout"])}
+	if err := t.Validate(); err != nil {
+		return pcie.Topology{}, err
+	}
+	return t, nil
 }
 
 func accessByName(v Value) (core.AccessMethod, error) {

@@ -102,6 +102,13 @@ type ExploreSpec struct {
 // errors with the scenario name.
 func (s *Scenario) validateExplore(fail func(string, ...any) error) error {
 	e := s.Explore
+	// The optimizer's screening rung is the analytic backend, which has
+	// no model for farm makespans or tenant schedules (scenario.ErrNoModel
+	// territory) — reject at parse time rather than aborting mid-search.
+	switch s.Workload.Kind {
+	case "farm", "tenants":
+		return fail("explore: workload kind %q has no analytic screening model; sweep it instead", s.Workload.Kind)
+	}
 	switch e.Objective.Metric {
 	case "", "exec":
 	case "gemm", "nongemm":

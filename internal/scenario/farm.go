@@ -1,0 +1,210 @@
+package scenario
+
+// Farm workloads: every cluster member driven concurrently through its
+// own kernel driver. "farm" co-runs one GEMM per member and measures
+// the makespan; "tenants" co-runs per-tenant schedules and measures
+// each tenant's contention slowdown against a solo run of the same
+// schedule on an otherwise-idle but physically identical system.
+
+import (
+	"fmt"
+
+	"accesys/internal/core"
+	"accesys/internal/driver"
+	"accesys/internal/mem"
+	"accesys/internal/sim"
+	"accesys/internal/sweep"
+)
+
+// TenantJob is one tenant's resolved schedule: Jobs back-to-back
+// square GEMMs of size N on the tenant's own cluster member.
+type TenantJob struct {
+	N    int `json:"n"`
+	Jobs int `json:"jobs"`
+}
+
+// resolveTenants picks each tenant's size for the mode and defaults
+// the job count.
+func resolveTenants(specs []TenantSpec, full bool) []TenantJob {
+	out := make([]TenantJob, len(specs))
+	for i, t := range specs {
+		jobs := t.Jobs
+		if jobs == 0 {
+			jobs = 1
+		}
+		out[i] = TenantJob{N: t.N.Pick(full), Jobs: jobs}
+	}
+	return out
+}
+
+// arenaAlign keeps per-member host/device arena slices MiB-aligned so
+// DMA bursts never straddle a partition boundary.
+const arenaAlign = 1 << 20
+
+// BuildFarm wires a system plus one kernel driver per cluster member:
+// each driver owns its member's BAR and a disjoint slice of the host
+// and device memory windows, so concurrent schedules never share
+// buffers. The config must have SMMU bypass set (the members share one
+// SMMU, and concurrent root tables would clobber each other) — RunAt
+// stamps it for farm/tenants workloads before fingerprinting.
+func BuildFarm(cfg core.Config) (*core.System, []*driver.Driver) {
+	sys := core.Build(cfg)
+	if !sys.Cfg.SMMU.Bypass {
+		panic(fmt.Sprintf("scenario: farm under %s needs SMMU bypass (one translation stream per SMMU)", sys.Cfg.Name))
+	}
+	k := sys.Cfg.Accelerators
+	hostSlice := (sys.Cfg.HostMemBytes / uint64(k)) &^ (arenaAlign - 1)
+	devSlice := (sys.Cfg.DevMemBytes / uint64(k)) &^ (arenaAlign - 1)
+	dcfg := driver.Config{
+		DMMode:     sys.Cfg.Access == core.DM,
+		DevMemMode: sys.Cfg.Access == core.DevMem,
+		NoIOMMU:    true,
+	}
+	drvs := make([]*driver.Driver, k)
+	for i := 0; i < k; i++ {
+		drvs[i] = driver.New(fmt.Sprintf("%s.drv%d", sys.Cfg.Name, i), sys.EQ, sys.Stats, driver.Deps{
+			EQ:        sys.EQ,
+			MMIO:      sys.AttachHostPort(fmt.Sprintf("drv%d", i)),
+			FuncHost:  sys.FuncHost(),
+			FuncDev:   sys.FuncDev(),
+			SMMU:      sys.SMMU,
+			Accel:     sys.Accels[i],
+			BARBase:   core.BARBase + uint64(i)*core.BARSize,
+			HostRange: mem.Range(core.HostMemBase+uint64(i)*hostSlice, hostSlice),
+			DevRange:  mem.Range(core.DevMemBase+uint64(i)*devSlice, devSlice),
+			IOVABase:  core.IOVABase,
+			Flush:     sys.FlushCaches,
+		}, dcfg)
+	}
+	return sys, drvs
+}
+
+// SimFarm launches one timing-only n^3 GEMM on every cluster member at
+// t=0 and returns the makespan plus each member's completion time.
+func SimFarm(cfg core.Config, n int) (sim.Tick, []sim.Tick) {
+	sys, drvs := BuildFarm(cfg)
+	ends := make([]sim.Tick, len(drvs))
+	done := make([]bool, len(drvs))
+	for i, drv := range drvs {
+		i := i
+		drv.RunGEMM(driver.GEMMSpec{M: n, N: n, K: n}, func(driver.Result) {
+			ends[i] = sys.Now()
+			done[i] = true
+		})
+	}
+	sys.Run()
+	var makespan sim.Tick
+	for i := range drvs {
+		if !done[i] {
+			panic(fmt.Sprintf("scenario: farm member %d under %s never completed", i, cfg.Name))
+		}
+		if ends[i] > makespan {
+			makespan = ends[i]
+		}
+	}
+	return makespan, ends
+}
+
+// runTenants simulates the tenants' schedules on a fresh system and
+// returns each driven tenant's completion time. only >= 0 restricts
+// the run to that single tenant (the solo baseline); -1 co-runs all.
+func runTenants(cfg core.Config, tenants []TenantJob, only int) []sim.Tick {
+	sys, drvs := BuildFarm(cfg)
+	ends := make([]sim.Tick, len(tenants))
+	done := make([]bool, len(tenants))
+	for ti := range tenants {
+		if only >= 0 && ti != only {
+			done[ti] = true
+			continue
+		}
+		ti := ti
+		t := tenants[ti]
+		drv := drvs[ti]
+		remaining := t.Jobs
+		var launch func()
+		launch = func() {
+			drv.RunGEMM(driver.GEMMSpec{M: t.N, N: t.N, K: t.N}, func(driver.Result) {
+				remaining--
+				if remaining > 0 {
+					launch()
+					return
+				}
+				ends[ti] = sys.Now()
+				done[ti] = true
+			})
+		}
+		launch()
+	}
+	sys.Run()
+	for ti := range tenants {
+		if !done[ti] {
+			panic(fmt.Sprintf("scenario: tenant %d under %s never completed", ti, cfg.Name))
+		}
+	}
+	return ends
+}
+
+// SimTenants co-runs every tenant's schedule (each on its own cluster
+// member, sharing the interconnect), then re-runs each schedule alone
+// on an identical fresh system, and returns the shared and solo
+// completion times. Slowdown = shared/solo is the contention a tenant
+// suffers from its neighbours.
+func SimTenants(cfg core.Config, tenants []TenantJob) (shared, solo []sim.Tick) {
+	shared = runTenants(cfg, tenants, -1)
+	solo = make([]sim.Tick, len(tenants))
+	for i := range tenants {
+		solo[i] = runTenants(cfg, tenants, i)[i]
+	}
+	return shared, solo
+}
+
+// FarmPoint wraps one co-running farm GEMM under cfg as a sweep point.
+// The leading "farm" identity element keeps farm fingerprints disjoint
+// from every "gemm"/"vit" point over the same config.
+func FarmPoint(cfg core.Config, n int) sweep.Point {
+	return sweep.Point{
+		Key:         cfg.Name,
+		Fingerprint: sweep.Fingerprint(append([]any{"farm", n}, cfg.FingerprintParts()...)...),
+		Run: func() sweep.Outcome {
+			makespan, ends := SimFarm(cfg, n)
+			vals := make(map[string]float64, len(ends))
+			for i, e := range ends {
+				vals[fmt.Sprintf("m%d_exec_ns", i)] = float64(e.Nanoseconds())
+			}
+			return sweep.Outcome{Dur: makespan, Values: vals}
+		},
+	}
+}
+
+// TenantsPoint wraps one multi-tenant contention run as a sweep point.
+// The outcome carries per-tenant shared/solo times, slowdowns, and the
+// fairness ratio (max slowdown / min slowdown; 1.0 = perfectly fair).
+func TenantsPoint(cfg core.Config, tenants []TenantJob) sweep.Point {
+	return sweep.Point{
+		Key:         cfg.Name,
+		Fingerprint: sweep.Fingerprint(append([]any{"tenants", tenants}, cfg.FingerprintParts()...)...),
+		Run: func() sweep.Outcome {
+			shared, solo := SimTenants(cfg, tenants)
+			vals := make(map[string]float64, 3*len(tenants)+1)
+			var makespan sim.Tick
+			worst, best := 0.0, 0.0
+			for i := range tenants {
+				sd := float64(shared[i]) / float64(solo[i])
+				vals[fmt.Sprintf("t%d_exec_ns", i)] = float64(shared[i].Nanoseconds())
+				vals[fmt.Sprintf("t%d_solo_ns", i)] = float64(solo[i].Nanoseconds())
+				vals[fmt.Sprintf("t%d_slowdown", i)] = sd
+				if i == 0 || sd > worst {
+					worst = sd
+				}
+				if i == 0 || sd < best {
+					best = sd
+				}
+				if shared[i] > makespan {
+					makespan = shared[i]
+				}
+			}
+			vals["fairness"] = worst / best
+			return sweep.Outcome{Dur: makespan, Values: vals}
+		},
+	}
+}

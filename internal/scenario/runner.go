@@ -257,9 +257,14 @@ func (s *Scenario) extractor(r Run) func(*core.System, driver.Result) map[string
 // pointFor wraps one resolved run as an engine-ready sweep point.
 func (s *Scenario) pointFor(r Run) sweep.Point {
 	var p sweep.Point
-	if s.Workload.Kind == "vit" {
+	switch s.Workload.Kind {
+	case "vit":
 		p = ViTPoint(r.Cfg, r.Model)
-	} else {
+	case "farm":
+		p = FarmPoint(r.Cfg, r.N)
+	case "tenants":
+		p = TenantsPoint(r.Cfg, r.Tenants)
+	default:
 		p = GEMMPoint(r.Cfg, r.N, s.extractor(r))
 	}
 	p.Key = r.Key

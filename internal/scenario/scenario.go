@@ -57,14 +57,30 @@ func (s *Size) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// TenantSpec declares one tenant of a "tenants" workload: Jobs
+// back-to-back square GEMMs of size N, driven through the tenant's own
+// cluster member while the other tenants run concurrently on theirs.
+type TenantSpec struct {
+	// N is the tenant's square GEMM size.
+	N Size `json:"n"`
+	// Jobs is how many GEMMs the tenant runs back to back (default 1).
+	Jobs int `json:"jobs,omitempty"`
+}
+
 // Workload selects what each run simulates: a timing-only square GEMM
-// of size N, or one ViT encoder layer scaled by the model's layer
-// count (the model itself comes from a "model" axis).
+// of size N, one ViT encoder layer scaled by the model's layer count
+// (the model itself comes from a "model" axis), a "farm" (the point's
+// GEMM co-running on every cluster member at once, measuring the
+// makespan), or "tenants" (co-running per-tenant schedules sharing the
+// interconnect, measuring contention and fairness against solo runs).
 type Workload struct {
-	// Kind is "gemm" (default) or "vit".
+	// Kind is "gemm" (default), "vit", "farm", or "tenants".
 	Kind string `json:"kind"`
 	// N is the square GEMM size; a "size" axis overrides it per point.
 	N Size `json:"n"`
+	// Tenants declares the co-running schedules of a "tenants"
+	// workload (at least two).
+	Tenants []TenantSpec `json:"tenants,omitempty"`
 }
 
 // Value is one axis value as decoded from JSON: a number (float64), a
@@ -146,10 +162,13 @@ type Run struct {
 	Key string
 	// Cfg is the fully resolved system configuration.
 	Cfg core.Config
-	// N is the GEMM size (gemm workloads).
+	// N is the GEMM size (gemm and farm workloads).
 	N int
 	// Model is the ViT variant (vit workloads).
 	Model workload.ViTVariant
+	// Tenants are the resolved co-running schedules (tenants
+	// workloads): sizes picked for the mode, job counts defaulted.
+	Tenants []TenantJob
 
 	axisNames []string
 	labels    []string
@@ -290,9 +309,25 @@ func (s *Scenario) Validate() error {
 		if s.SizeFor(false) <= 0 && !s.hasAxis("size") {
 			return fail("gemm workload needs a positive n or a size axis")
 		}
+	case "farm":
+		if s.SizeFor(false) <= 0 && !s.hasAxis("size") {
+			return fail("farm workload needs a positive n or a size axis")
+		}
+	case "tenants":
+		if len(s.Workload.Tenants) < 2 {
+			return fail("tenants workload needs at least two tenants")
+		}
+		for i, t := range s.Workload.Tenants {
+			if t.N.Pick(false) <= 0 || t.N.Pick(true) <= 0 {
+				return fail("tenant %d needs a positive n", i)
+			}
+			if t.Jobs < 0 {
+				return fail("tenant %d: negative job count %d", i, t.Jobs)
+			}
+		}
 	case "vit":
 	default:
-		return fail("unknown workload kind %q (want gemm or vit)", s.Workload.Kind)
+		return fail("unknown workload kind %q (want gemm, vit, farm, or tenants)", s.Workload.Kind)
 	}
 	seen := map[string]bool{}
 	for _, ax := range s.Axes {
@@ -487,12 +522,30 @@ type Options struct {
 // quantum) onto every expanded run. The fields live in each run's
 // core.Config, so partitioned points fingerprint differently from
 // sequential ones and can never alias their cache entries.
+//
+// Requests past a run's topology-derived cap (core.Config.DomainCap)
+// are clamped here, before fingerprinting: a `-domains 9` request on a
+// 1-accelerator system stamps the same Domains=4 a `-domains 4`
+// request does, so the two fingerprint (and cache) identically instead
+// of simulating the same partition under distinct keys. The clamp is
+// warned once per Apply (to Out regardless of Verbose — it changes
+// what the cache key means, not just progress).
 func (o Options) Apply(runs []Run) {
 	if o.Domains <= 1 {
 		return
 	}
+	warned := false
 	for i := range runs {
-		runs[i].Cfg.Domains = o.Domains
+		nd := o.Domains
+		if max := runs[i].Cfg.DomainCap(); nd > max {
+			if !warned && o.Out != nil {
+				fmt.Fprintf(o.Out, "scenario: -domains %d exceeds the topology-derived cap %d (host+pcie+dev+%d accelerators); clamping\n",
+					o.Domains, max, runs[i].Cfg.NumAccels())
+			}
+			warned = true
+			nd = max
+		}
+		runs[i].Cfg.Domains = nd
 		runs[i].Cfg.Quantum = o.Quantum
 	}
 }

@@ -137,9 +137,27 @@ func (sp *Space) RunAt(i int) (Run, error) {
 			r.labels[j] = ax.def.label(v)
 		}
 	}
+	if k := s.Workload.Kind; k == "farm" || k == "tenants" {
+		// Farm workloads run one driver per cluster member. The members
+		// share a single SMMU, and concurrent drivers installing their
+		// own root tables would clobber each other's translation
+		// streams, so these workloads run physically addressed. Stamped
+		// here — before naming and fingerprinting — so the bypass is
+		// part of every farm point's identity.
+		r.Cfg.SMMU.Bypass = true
+		if k == "tenants" {
+			r.Tenants = resolveTenants(s.Workload.Tenants, sp.full)
+			if na := r.Cfg.NumAccels(); na < len(r.Tenants) {
+				return Run{}, fmt.Errorf("scenario %s: %d tenants need at least that many accelerators, cluster has %d", s.Name, len(r.Tenants), na)
+			}
+		}
+	}
 	s.nameRun(&r)
-	if (s.Workload.Kind == "gemm" || s.Workload.Kind == "") && r.N <= 0 {
-		return Run{}, fmt.Errorf("scenario %s: run %s has no GEMM size", s.Name, r.Key)
+	switch s.Workload.Kind {
+	case "gemm", "", "farm":
+		if r.N <= 0 {
+			return Run{}, fmt.Errorf("scenario %s: run %s has no GEMM size", s.Name, r.Key)
+		}
 	}
 	return r, nil
 }

@@ -7,6 +7,7 @@ package scenario
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -154,6 +155,19 @@ func TestExploreStanzaValidation(t *testing.T) {
 		tc.mutate(sc.Explore)
 		if err := sc.Validate(); err == nil {
 			t.Errorf("%s: validated", tc.name)
+		}
+	}
+
+	// Farm/tenants workloads have no analytic screening model; an
+	// explore stanza over them must be rejected at parse time.
+	for _, kind := range []string{"farm", "tenants"} {
+		sc := base()
+		sc.Workload = Workload{Kind: kind, N: Size{Quick: 64, Full: 64},
+			Tenants: []TenantSpec{{N: Size{Quick: 64, Full: 64}}, {N: Size{Quick: 64, Full: 64}}}}
+		if err := sc.Validate(); err == nil {
+			t.Errorf("explore over %s workload validated", kind)
+		} else if !strings.Contains(err.Error(), "no analytic screening model") {
+			t.Errorf("explore over %s: wrong error: %v", kind, err)
 		}
 	}
 

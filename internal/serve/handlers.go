@@ -95,6 +95,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The daemon only sweeps matrices; silently expanding a manifest
+	// that asks for a search would run the wrong computation and throw
+	// the stanza away.
+	if sc.Explore != nil {
+		writeError(w, http.StatusUnprocessableEntity,
+			"manifest %q carries an \"explore\" stanza; this server only sweeps — run it with `accesys explore`", sc.Name)
+		return
+	}
 	full := r.URL.Query().Get("full") == "1" || r.URL.Query().Get("full") == "true"
 	// Expanding up front both validates the matrix fully and fixes the
 	// job's total before anything runs.

@@ -189,6 +189,36 @@ func TestSubmitRejectsBadManifests(t *testing.T) {
 	}
 }
 
+// TestSubmitRejectsExploreStanza pins the explore-manifest fix: the
+// daemon used to silently strip the stanza and sweep the full matrix —
+// the wrong computation, reported as success. It must refuse up front,
+// naming the stanza and pointing at `accesys explore`.
+func TestSubmitRejectsExploreStanza(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	manifest := `{
+	  "name": "mini-explore",
+	  "base": "pcie8gb",
+	  "workload": {"kind": "gemm", "n": 64},
+	  "axes": [{"axis": "lanes", "values": [4, 8]}],
+	  "explore": {"strategy": "random", "budget": "4"}
+	}`
+	code, body, _ := submitManifest(t, ts, manifest, "")
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("explore manifest: status %d, body %v", code, body)
+	}
+	msg, _ := body["error"].(string)
+	if !strings.Contains(msg, "explore") || !strings.Contains(msg, "accesys explore") {
+		t.Fatalf("rejection must name the stanza and the right command: %q", msg)
+	}
+	// The rejected job must not have entered the registry.
+	var listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/sweeps", &listing); code != http.StatusOK || len(listing.Jobs) != 0 {
+		t.Fatalf("rejected submission registered a job: %d %+v", code, listing.Jobs)
+	}
+}
+
 func TestBackpressureAndQuota(t *testing.T) {
 	release := make(chan struct{})
 	releaseAll := sync.OnceFunc(func() { close(release) })
